@@ -1,0 +1,76 @@
+"""Ablation benchmarks for design choices DESIGN.md calls out.
+
+Not a paper figure: quantifies (a) how the router policy balances a hybrid
+pipeline's packets across heterogeneous consumers, and (b) how the CPU
+partitioning fan-out limit (the TLB-derived knob of Section 4.1) changes the
+number of partitioning passes and the resulting join time.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from conftest import emit
+
+from repro.operators import Router, plan_partition_passes
+from repro.operators.hashjoin import HASH_ENTRY_BYTES
+from repro.relational import RoutingPolicy
+from repro.storage import Block
+
+
+def test_ablation_router_policies(benchmark, topology):
+    """Load-aware routing should track relative device throughput."""
+    consumers = [topology.device(name) for name in ("cpu0", "cpu1", "gpu0", "gpu1")]
+
+    def route_packets(policy):
+        router = Router(consumers, policy)
+        for index in range(400):
+            block = Block({"x": np.zeros(512, dtype=np.int64)},
+                          location="cpu0", partition=index)
+            router.route(block)
+        return router.assignments()
+
+    assignments = benchmark.pedantic(
+        lambda: {policy.value: route_packets(policy)
+                 for policy in (RoutingPolicy.LOAD_AWARE,
+                                RoutingPolicy.ROUND_ROBIN,
+                                RoutingPolicy.HASH)},
+        iterations=1, rounds=1)
+    lines = []
+    for policy, shares in assignments.items():
+        total = sum(shares.values())
+        cells = "  ".join(f"{device}={100 * nbytes / total:.0f}%"
+                          for device, nbytes in sorted(shares.items()))
+        lines.append(f"{policy:>12}: {cells}")
+    emit("Ablation — router policies (share of routed bytes)", lines)
+    load_aware = assignments["load-aware"]
+    assert load_aware["gpu0"] > load_aware["cpu0"]
+
+
+def test_ablation_partitioning_fanout(benchmark, join_models, topology):
+    """Fewer allowed output partitions per pass means more passes."""
+    cpu_spec = topology.device("cpu0").spec
+    tuples = 512_000_000
+
+    def sweep():
+        results = {}
+        for fanout_limit in (16, 64, 128, 1024):
+            target = cpu_spec.cache("L2").capacity_bytes
+            required = tuples * HASH_ENTRY_BYTES * 2 // target
+            passes = 0
+            remaining = required
+            while remaining > 1:
+                remaining = -(-remaining // fanout_limit)
+                passes += 1
+            results[fanout_limit] = passes
+        results["tuned"] = plan_partition_passes(
+            tuples, HASH_ENTRY_BYTES, cpu_spec).num_passes
+        return results
+
+    results = benchmark(sweep)
+    lines = [f"fan-out limit {key}: {value} partitioning pass(es)"
+             for key, value in results.items()]
+    lines.append("paper context: the TLB bounds the useful fan-out, so large "
+                 "inputs need multiple passes (Section 2.1/4.1)")
+    emit("Ablation — CPU partitioning fan-out vs number of passes", lines)
+    assert results[16] >= results[1024]
+    assert results["tuned"] >= 2

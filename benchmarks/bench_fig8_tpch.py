@@ -1,0 +1,86 @@
+"""Figure 8: TPC-H SF100 — DBMS C, Proteus CPU / Hybrid / GPU, DBMS G.
+
+Regenerates the per-query bars of Figure 8 through the SF-100 analytic
+models, and cross-validates functionally by executing every query in every
+engine configuration (plus both baselines) on a small generated dataset.
+"""
+
+from __future__ import annotations
+
+from conftest import emit
+
+from repro.baselines import DBMSC, DBMSG
+from repro.engine import HAPEEngine
+from repro.errors import UnsupportedQueryError
+from repro.perf import FIGURE8_SYSTEMS
+from repro.storage import generate_tpch
+from repro.workloads import EVALUATED_QUERIES, all_queries
+
+
+def test_figure8_paper_scale_estimates(benchmark, tpch_models):
+    figure = benchmark(tpch_models.figure8)
+    header = "        " + "".join(f"{system:>16}" for system in FIGURE8_SYSTEMS)
+    lines = [header]
+    for query, estimates in figure.items():
+        cells = "".join(
+            f"{'n/a':>16}" if estimate.seconds is None
+            else f"{estimate.seconds:>15.2f}s"
+            for estimate in estimates)
+        lines.append(f"{query:>6}  {cells}")
+    q1 = {e.system: e.seconds for e in figure["Q1"]}
+    q5 = {e.system: e.seconds for e in figure["Q5"]}
+    q9 = {e.system: e.seconds for e in figure["Q9"]}
+    lines.append("paper claims: CPU-only wins the scan-bound queries "
+                 "(>2.65x vs GPU-only), GPU-only wins Q5 (1.4x), hybrid wins "
+                 "everywhere, Q9 cannot run on the GPU-only systems")
+    lines.append(
+        f"measured: Q1 CPU is {q1['Proteus GPUs'] / q1['Proteus CPUs']:.2f}x "
+        f"faster than GPU; Q5 GPU is "
+        f"{q5['Proteus CPUs'] / q5['Proteus GPUs']:.2f}x faster than CPU; "
+        f"Q9 hybrid is {q9['Proteus CPUs'] / q9['Proteus Hybrid']:.2f}x "
+        "faster than CPU-only")
+    emit("Figure 8 — TPC-H SF100 (paper-scale model)", lines)
+    for estimates in figure.values():
+        by_system = {e.system: e.seconds for e in estimates}
+        assert all(by_system["Proteus Hybrid"] <= seconds * 1.001
+                   for seconds in by_system.values() if seconds is not None)
+
+
+def test_figure8_reduced_scale_execution(benchmark, topology):
+    """Functional cross-validation on a generated SF-0.01 dataset."""
+    dataset = generate_tpch(0.01, seed=2019)
+    engine = HAPEEngine(topology)
+    engine.register_dataset(dataset.tables, replace=True)
+    dbms_c = DBMSC(topology)
+    dbms_g = DBMSG(topology)
+    queries = all_queries(dataset)
+
+    def run_everything():
+        rows: dict[str, dict[str, float | None]] = {}
+        for name, query in queries.items():
+            rows[name] = {}
+            for mode, label in (("cpu", "Proteus CPUs"),
+                                ("hybrid", "Proteus Hybrid"),
+                                ("gpu", "Proteus GPUs")):
+                rows[name][label] = engine.execute(
+                    query.plan, mode).simulated_seconds
+            rows[name]["DBMS C"] = dbms_c.execute(
+                query.plan, engine.catalog).simulated_seconds
+            try:
+                rows[name]["DBMS G"] = dbms_g.execute(
+                    query.plan, engine.catalog,
+                    query_name=name).simulated_seconds
+            except UnsupportedQueryError:
+                rows[name]["DBMS G"] = None
+        return rows
+
+    rows = benchmark.pedantic(run_everything, iterations=1, rounds=1)
+    lines = []
+    for name in EVALUATED_QUERIES:
+        cells = "  ".join(
+            f"{system}={'n/a' if seconds is None else f'{seconds * 1e3:.2f}ms'}"
+            for system, seconds in rows[name].items())
+        lines.append(f"{name}: {cells}")
+    emit("Figure 8 — reduced-scale functional cross-validation (SF 0.01)", lines)
+    assert rows["Q1"]["DBMS G"] is not None
+    assert rows["Q5"]["DBMS G"] is None

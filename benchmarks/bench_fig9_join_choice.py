@@ -1,0 +1,30 @@
+"""Figure 9: partitioned vs non-partitioned GPU-side join on TPC-H Q5.
+
+Also doubles as the ablation benchmark for the library's join-algorithm
+choice: it quantifies how much the hardware-conscious partitioned join
+contributes to GPU-only and hybrid Q5 execution.
+"""
+
+from __future__ import annotations
+
+from conftest import emit
+
+
+def test_figure9_join_algorithm_ablation(benchmark, tpch_models):
+    figure = benchmark(tpch_models.figure9)
+    lines = []
+    for config, variants in figure.items():
+        for variant, seconds in variants.items():
+            lines.append(f"{config:>7} | {variant:<22} {seconds:6.2f}s")
+    gpu_speedup = (figure["GPU"]["Non partitioned join"]
+                   / figure["GPU"]["Partitioned join"])
+    hybrid_speedup = (figure["Hybrid"]["Non partitioned join"]
+                      / figure["Hybrid"]["Partitioned join"])
+    lines.append("paper claims: 1.44x (GPU-only) and 1.23x (hybrid) from "
+                 "using the partitioned join")
+    lines.append(f"measured: {gpu_speedup:.2f}x (GPU-only), "
+                 f"{hybrid_speedup:.2f}x (hybrid)")
+    emit("Figure 9 — partitioned vs non-partitioned join on Q5", lines)
+    assert gpu_speedup > 1.1
+    assert hybrid_speedup > 1.05
+    assert gpu_speedup > hybrid_speedup

@@ -1,0 +1,19 @@
+"""Headline claims of the abstract: every speed-up number in one table.
+
+Summarizes the paper-vs-measured ratios that EXPERIMENTS.md records, using
+the same models that back the per-figure benchmarks.
+"""
+
+from __future__ import annotations
+
+from conftest import emit
+
+from repro.perf import headline_claims
+
+
+def test_headline_claims(benchmark, topology):
+    claims = benchmark.pedantic(headline_claims, args=(topology,),
+                                iterations=1, rounds=1)
+    emit("Headline claims (paper vs measured)",
+         [claim.row() for claim in claims])
+    assert all(claim.measured > 1.0 for claim in claims)

@@ -1,0 +1,38 @@
+"""Shared fixtures for the benchmark harnesses."""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import pytest
+
+_SRC = Path(__file__).resolve().parent.parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+from repro.hardware import default_server  # noqa: E402
+from repro.perf import JoinModels, TPCHModels  # noqa: E402
+
+
+@pytest.fixture(scope="session")
+def topology():
+    return default_server()
+
+
+@pytest.fixture(scope="session")
+def join_models(topology):
+    return JoinModels(topology)
+
+
+@pytest.fixture(scope="session")
+def tpch_models(topology):
+    return TPCHModels(topology)
+
+
+def emit(title: str, lines: list[str]) -> None:
+    """Print a figure's regenerated rows beneath the benchmark output."""
+    banner = "=" * len(title)
+    print(f"\n{title}\n{banner}")
+    for line in lines:
+        print(line)

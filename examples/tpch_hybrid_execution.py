@@ -1,0 +1,56 @@
+#!/usr/bin/env python
+"""TPC-H on CPU-only, GPU-only and hybrid configurations (Figure 8's setup).
+
+Runs all four evaluated queries (Q1, Q5, Q6, Q9*) on a generated dataset in
+every engine configuration, compares the engine against the two simulated
+commercial baselines, and prints per-device utilization for the hybrid runs
+— the quantity behind the paper's "fraction of aggregate throughput"
+discussion in Section 6.4.
+"""
+
+from __future__ import annotations
+
+from repro.baselines import DBMSC, DBMSG
+from repro.engine import HAPEEngine
+from repro.errors import UnsupportedQueryError
+from repro.hardware import default_server
+from repro.storage import generate_tpch
+from repro.workloads import EVALUATED_QUERIES, build_query
+
+
+def main() -> None:
+    topology = default_server()
+    engine = HAPEEngine(topology)
+    dataset = generate_tpch(scale_factor=0.02, seed=7)
+    engine.register_dataset(dataset.tables)
+    dbms_c = DBMSC(topology)
+    dbms_g = DBMSG(topology)
+
+    for name in EVALUATED_QUERIES:
+        query = build_query(name, dataset)
+        print(f"--- {name} ({query.category}) ---")
+        results = {}
+        for mode in ("cpu", "gpu", "hybrid"):
+            results[mode] = engine.execute(query.plan, mode)
+            print(f"  Proteus {mode:>6}: {results[mode].makespan_ms:9.3f} ms "
+                  f"({results[mode].table.num_rows} result rows)")
+        baseline = dbms_c.execute(query.plan, engine.catalog)
+        print(f"  DBMS C        : {baseline.simulated_seconds * 1e3:9.3f} ms")
+        try:
+            baseline = dbms_g.execute(query.plan, engine.catalog,
+                                      query_name=name)
+            print(f"  DBMS G        : {baseline.simulated_seconds * 1e3:9.3f} ms")
+        except UnsupportedQueryError as exc:
+            print(f"  DBMS G        : unsupported ({exc})")
+        hybrid = results["hybrid"]
+        busy = ", ".join(f"{device}={100 * hybrid.busy_fraction(device):.0f}%"
+                         for device in ("cpu0", "cpu1", "gpu0", "gpu1"))
+        print(f"  hybrid device utilization: {busy}")
+        pcie = sum(nbytes for link, nbytes in hybrid.link_bytes.items()
+                   if link.startswith("pcie"))
+        print(f"  hybrid PCIe traffic: {pcie / 1e6:.2f} MB")
+        print()
+
+
+if __name__ == "__main__":
+    main()

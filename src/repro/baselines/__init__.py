@@ -1,0 +1,6 @@
+"""Simulated commercial comparators: DBMS C (CPU) and DBMS G (GPU)."""
+
+from .dbms_c import BaselineResult, DBMSC
+from .dbms_g import DBMSG, UVA_ACCESS_BYTES
+
+__all__ = ["BaselineResult", "DBMSC", "DBMSG", "UVA_ACCESS_BYTES"]

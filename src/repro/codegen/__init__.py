@@ -1,0 +1,27 @@
+"""Just-in-time code generation: pipelines and per-device back-ends."""
+
+from .backend import (
+    CompiledKernel,
+    CPUBackend,
+    DeviceProvider,
+    GPUBackend,
+    provider_for,
+)
+from .pipeline import (
+    Pipeline,
+    break_into_pipelines,
+    is_pipeline_breaker,
+    pipelines_per_device,
+)
+
+__all__ = [
+    "CompiledKernel",
+    "CPUBackend",
+    "DeviceProvider",
+    "GPUBackend",
+    "Pipeline",
+    "break_into_pipelines",
+    "is_pipeline_breaker",
+    "pipelines_per_device",
+    "provider_for",
+]

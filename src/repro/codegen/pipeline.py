@@ -1,0 +1,96 @@
+"""Pipeline extraction from physical plans.
+
+A heterogeneity-aware physical plan is broken into *pipelines*, each
+targeting a single device type (Section 3: "the heterogeneity-aware plan is
+then broken down into pipelines each targeting a single device").  Pipeline
+breakers are the operators that must consume their whole input before
+producing output (hash-table builds, aggregations, sorts) and the
+HetExchange operators, which hand packets to another device or degree of
+parallelism.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from ..hardware.specs import DeviceKind
+from ..relational.physical import (
+    DeviceCrossing,
+    MemMove,
+    PAggregate,
+    PFilterProject,
+    PhysicalOp,
+    PJoin,
+    PScan,
+    PSort,
+    Router,
+)
+
+
+@dataclass
+class Pipeline:
+    """A chain of operators fused into one generated kernel."""
+
+    pipeline_id: int
+    device: DeviceKind
+    operators: list[PhysicalOp] = field(default_factory=list)
+    depends_on: list[int] = field(default_factory=list)
+
+    @property
+    def source_op(self) -> PhysicalOp:
+        return self.operators[0]
+
+    @property
+    def sink_op(self) -> PhysicalOp:
+        return self.operators[-1]
+
+    def describe(self) -> str:
+        chain = " -> ".join(op.describe() for op in self.operators)
+        deps = f" (after {self.depends_on})" if self.depends_on else ""
+        return f"pipeline#{self.pipeline_id}[{self.device.value}]{deps}: {chain}"
+
+
+def is_pipeline_breaker(op: PhysicalOp) -> bool:
+    """Operators that terminate the pipeline that produces their input."""
+    if isinstance(op, (PAggregate, PSort, PJoin)):
+        return True
+    return op.is_exchange()
+
+
+def break_into_pipelines(root: PhysicalOp) -> list[Pipeline]:
+    """Split a physical plan into its pipelines (topologically ordered)."""
+    pipelines: list[Pipeline] = []
+
+    def build(node: PhysicalOp) -> Pipeline:
+        """Returns the pipeline whose sink is ``node``."""
+        child_pipelines = [build(child) for child in node.children()]
+        if child_pipelines and not is_pipeline_breaker(node) and len(child_pipelines) == 1:
+            pipeline = child_pipelines[0]
+            pipeline.operators.append(node)
+            pipeline.device = node.traits.device
+            return pipeline
+        pipeline = Pipeline(
+            pipeline_id=len(pipelines),
+            device=node.traits.device,
+            operators=[node],
+            depends_on=[child.pipeline_id for child in child_pipelines],
+        )
+        pipelines.append(pipeline)
+        return pipeline
+
+    last = build(root)
+    if last not in pipelines:
+        pipelines.append(last)
+    # Re-number in dependency order (children were appended before parents,
+    # except for fused chains which share their child's pipeline object).
+    ordered = sorted(pipelines, key=lambda p: p.pipeline_id)
+    return ordered
+
+
+def pipelines_per_device(pipelines: list[Pipeline]) -> dict[DeviceKind, int]:
+    """How many pipelines target each device kind (used by tests/examples)."""
+    histogram: dict[DeviceKind, int] = {}
+    for pipeline in pipelines:
+        histogram[pipeline.device] = histogram.get(pipeline.device, 0) + 1
+    return histogram

@@ -1,0 +1,17 @@
+"""HAPE engine: optimizer, executor and the public engine facade."""
+
+from .executor import ExecutionResult, Executor, ExecutorOptions
+from .modes import ExecutionMode
+from .optimizer import Optimizer, OptimizerOptions
+from .session import HAPEEngine, QueryResult
+
+__all__ = [
+    "ExecutionMode",
+    "ExecutionResult",
+    "Executor",
+    "ExecutorOptions",
+    "HAPEEngine",
+    "Optimizer",
+    "OptimizerOptions",
+    "QueryResult",
+]

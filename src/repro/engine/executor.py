@@ -1,0 +1,427 @@
+"""Executor: runs physical plans on the simulated heterogeneous server.
+
+The executor interprets the trait-annotated physical DAG produced by the
+optimizer.  Functional results are computed with the executable operators of
+:mod:`repro.operators`; simulated time is produced by list-scheduling each
+operator's cost onto the clocks of the devices its traits (and the routers
+feeding it) designate, and every cross-device byte is charged to the
+interconnect link it crosses.  The makespan of the resulting timeline is the
+"execution time" the evaluation figures report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from ..errors import ExecutionError, OutOfDeviceMemoryError
+from ..hardware.device import Device
+from ..hardware.specs import DeviceKind
+from ..hardware.topology import Topology
+from ..operators.aggregate import hash_aggregate, merge_partials
+from ..operators.base import ArrayMap, OpCost, columns_nbytes, columns_num_rows
+from ..operators.coprocess import coprocessed_radix_join
+from ..operators.filterproject import apply_filter_project
+from ..operators.gpujoin import gpu_partitioned_join
+from ..operators.hashjoin import build_table_bytes, non_partitioned_join
+from ..operators.radix import cpu_radix_join
+from ..relational.physical import (
+    DeviceCrossing,
+    JoinAlgorithm,
+    MemMove,
+    PAggregate,
+    PFilterProject,
+    PhysicalOp,
+    PJoin,
+    PScan,
+    PSort,
+    Router,
+)
+from ..storage.catalog import Catalog
+from ..storage.column import Column
+from ..storage.table import Table
+
+
+@dataclass(frozen=True)
+class ExecutorOptions:
+    """Execution knobs (exposed for ablation benchmarks)."""
+
+    #: Extra fractional cost charged when a pipeline spans CPUs and GPUs,
+    #: covering packet routing, pinned staging buffers and synchronization.
+    hybrid_overhead: float = 0.10
+    #: Extra overhead for hybrid pipelines that shuffle join state.
+    hybrid_join_overhead: float = 0.30
+    #: Enforce GPU memory capacity when placing join hash tables.
+    enforce_gpu_memory: bool = True
+
+
+@dataclass
+class NodeResult:
+    """Result of executing one physical operator."""
+
+    columns: ArrayMap
+    ready: float
+    location: str
+    devices: list[Device] = field(default_factory=list)
+
+    @property
+    def nbytes(self) -> int:
+        return columns_nbytes(self.columns)
+
+    @property
+    def num_rows(self) -> int:
+        return columns_num_rows(self.columns)
+
+
+@dataclass
+class ExecutionResult:
+    """What :class:`Executor.execute` returns."""
+
+    table: Table
+    simulated_seconds: float
+    device_busy: dict[str, float]
+    link_bytes: dict[str, int]
+    plan: PhysicalOp
+
+    def utilization(self, resource: str) -> float:
+        if self.simulated_seconds <= 0:
+            return 0.0
+        return self.device_busy.get(resource, 0.0) / self.simulated_seconds
+
+
+class Executor:
+    """Interprets physical plans over the simulated topology."""
+
+    def __init__(self, topology: Topology, catalog: Catalog,
+                 options: ExecutorOptions | None = None) -> None:
+        self.topology = topology
+        self.catalog = catalog
+        self.options = options or ExecutorOptions()
+
+    # ------------------------------------------------------------------
+    def execute(self, plan: PhysicalOp) -> ExecutionResult:
+        """Run a physical plan and report result plus simulated timing."""
+        self.topology.reset()
+        result = self._execute(plan)
+        timeline = self.topology.timeline()
+        makespan = max(timeline.makespan, result.ready)
+        table = Table("result", [Column(name, values)
+                                 for name, values in result.columns.items()]) \
+            if result.columns else Table.from_arrays("result", {"empty": np.asarray([0])[:0]})
+        return ExecutionResult(
+            table=table,
+            simulated_seconds=makespan,
+            device_busy={clock.resource: clock.busy_time for clock in timeline},
+            link_bytes={link.name: link.bytes_moved
+                        for link in self.topology.links},
+            plan=plan,
+        )
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+    def _default_devices(self) -> list[Device]:
+        return [self.topology.cpus()[0]]
+
+    def _device_weight(self, device: Device, data_location: str) -> float:
+        """Relative throughput of a device for CPU-resident input data."""
+        if device.is_cpu:
+            return device.spec.memory_bandwidth_gib_s
+        if data_location.startswith("gpu") or data_location.startswith("distributed"):
+            return device.spec.memory_bandwidth_gib_s
+        route = self.topology.route(data_location, device.name)
+        return route.bottleneck_bandwidth_gib_s
+
+    def _split_fractions(self, devices: Sequence[Device],
+                         data_location: str) -> dict[str, float]:
+        weights = {device.name: self._device_weight(device, data_location)
+                   for device in devices}
+        total = sum(weights.values())
+        return {name: weight / total for name, weight in weights.items()}
+
+    def _is_hybrid(self, devices: Sequence[Device]) -> bool:
+        kinds = {device.kind for device in devices}
+        return len(kinds) > 1
+
+    def _representative(self, devices: Sequence[Device],
+                        kind: DeviceKind) -> Device | None:
+        for device in devices:
+            if device.kind is kind:
+                return device
+        return None
+
+    def _charge_parallel(self, devices: Sequence[Device],
+                         cost_by_kind: dict[DeviceKind, OpCost],
+                         fractions: dict[str, float], *, earliest: float,
+                         input_bytes: int, data_location: str,
+                         label: str, join_shuffle: bool = False) -> float:
+        """Charge a parallel operator across its devices; return ready time."""
+        overhead = 0.0
+        if self._is_hybrid(devices):
+            overhead = (self.options.hybrid_join_overhead if join_shuffle
+                        else self.options.hybrid_overhead)
+        ready = earliest
+        for device in devices:
+            fraction = fractions[device.name]
+            seconds = cost_by_kind[device.kind].seconds * fraction
+            seconds *= 1.0 + overhead
+            start = earliest
+            if device.is_gpu and not data_location.startswith(("gpu", "distributed")):
+                # The GPU's share of the input crosses its PCIe link first.
+                route = self.topology.route(data_location, device.name)
+                arrival = route.transfer(int(input_bytes * fraction),
+                                         earliest=earliest,
+                                         label=f"{label}:h2d")
+                start = arrival
+            record = device.charge(seconds, earliest=start, label=label)
+            ready = max(ready, record.end)
+        return ready
+
+    # ------------------------------------------------------------------
+    # Node dispatch
+    # ------------------------------------------------------------------
+    def _execute(self, node: PhysicalOp) -> NodeResult:
+        if isinstance(node, PScan):
+            return self._execute_scan(node)
+        if isinstance(node, Router):
+            return self._execute_router(node)
+        if isinstance(node, MemMove):
+            return self._execute_memmove(node)
+        if isinstance(node, DeviceCrossing):
+            return self._execute_crossing(node)
+        if isinstance(node, PFilterProject):
+            return self._execute_filter_project(node)
+        if isinstance(node, PAggregate):
+            return self._execute_aggregate(node)
+        if isinstance(node, PJoin):
+            return self._execute_join(node)
+        if isinstance(node, PSort):
+            return self._execute_sort(node)
+        raise ExecutionError(f"executor cannot run {type(node).__name__}")
+
+    def _execute_scan(self, node: PScan) -> NodeResult:
+        table = self.catalog.table(node.table)
+        names = node.columns if node.columns else table.column_names
+        columns = {name: table.array(name) for name in names}
+        return NodeResult(columns=columns, ready=0.0, location=table.location,
+                          devices=self._default_devices())
+
+    def _execute_router(self, node: Router) -> NodeResult:
+        child = self._execute(node.child)
+        if node.consumers:
+            devices = [self.topology.device(name) for name in node.consumers]
+        else:
+            devices = child.devices
+        # Routing decisions are packet-metadata only; charge a token control
+        # cost on the CPU that hosts the router.
+        cpu = self.topology.cpus()[0]
+        record = cpu.charge(1e-6 * max(len(devices), 1), earliest=child.ready,
+                            label="router")
+        return NodeResult(columns=child.columns, ready=record.end,
+                          location=child.location, devices=devices)
+
+    def _execute_memmove(self, node: MemMove) -> NodeResult:
+        child = self._execute(node.child)
+        destinations = [name.strip() for name in node.destination.split(",")
+                        if name.strip()]
+        if not destinations:
+            raise ExecutionError("mem-move needs at least one destination")
+        nbytes = child.nbytes
+        ready = child.ready
+        share = nbytes // len(destinations) if destinations else nbytes
+        for destination in destinations:
+            if destination == child.location:
+                continue
+            device = self.topology.device(destination)
+            payload = nbytes if node.broadcast else share
+            if self.options.enforce_gpu_memory and device.is_gpu:
+                device.allocate(payload, label="mem-move staging").free()
+            route = self.topology.route(child.location, destination)
+            ready = max(ready, route.transfer(payload, earliest=child.ready,
+                                              label="mem-move"))
+        location = (destinations[0] if len(destinations) == 1
+                    else "distributed:" + ",".join(destinations))
+        return NodeResult(columns=child.columns, ready=ready,
+                          location=location, devices=child.devices)
+
+    def _execute_crossing(self, node: DeviceCrossing) -> NodeResult:
+        child = self._execute(node.child)
+        targets = [device for device in self.topology.devices
+                   if device.kind is node.target_kind]
+        if not targets:
+            raise ExecutionError(
+                f"no devices of kind {node.target_kind.value} in the topology")
+        ready = child.ready
+        for device in targets:
+            record = device.charge(device.cost.kernel_launch() or 1e-6,
+                                   earliest=child.ready, label="device-crossing")
+            ready = max(ready, record.end)
+        return NodeResult(columns=child.columns, ready=ready,
+                          location=child.location, devices=targets)
+
+    def _execute_filter_project(self, node: PFilterProject) -> NodeResult:
+        child = self._execute(node.child)
+        devices = child.devices or self._default_devices()
+        cost_by_kind: dict[DeviceKind, OpCost] = {}
+        output = None
+        for kind in {device.kind for device in devices}:
+            representative = self._representative(devices, kind)
+            result = apply_filter_project(
+                child.columns, representative,
+                predicate=node.predicate, projections=node.projections)
+            cost_by_kind[kind] = result.cost
+            if output is None or representative.is_cpu:
+                output = result
+        fractions = self._split_fractions(devices, child.location)
+        ready = self._charge_parallel(
+            devices, cost_by_kind, fractions, earliest=child.ready,
+            input_bytes=child.nbytes, data_location=child.location,
+            label="filter-project")
+        return NodeResult(columns=output.columns, ready=ready,
+                          location=child.location, devices=devices)
+
+    def _execute_aggregate(self, node: PAggregate) -> NodeResult:
+        child = self._execute(node.child)
+        if node.phase == "partial":
+            devices = child.devices or self._default_devices()
+            cost_by_kind: dict[DeviceKind, OpCost] = {}
+            output = None
+            for kind in {device.kind for device in devices}:
+                representative = self._representative(devices, kind)
+                result = hash_aggregate(
+                    child.columns, representative, group_by=node.group_by,
+                    aggregates=node.aggregates, phase="partial")
+                cost_by_kind[kind] = result.cost
+                if output is None or representative.is_cpu:
+                    output = result
+            fractions = self._split_fractions(devices, child.location)
+            ready = self._charge_parallel(
+                devices, cost_by_kind, fractions, earliest=child.ready,
+                input_bytes=child.nbytes, data_location=child.location,
+                label="aggregate-partial")
+            return NodeResult(columns=output.columns, ready=ready,
+                              location=child.location, devices=devices)
+        # Final (or complete) aggregation runs on cpu0 over the partials.
+        cpu = self.topology.cpus()[0]
+        if node.phase == "final":
+            result = merge_partials([child.columns], cpu,
+                                    group_by=node.group_by,
+                                    aggregates=node.aggregates)
+        else:
+            result = hash_aggregate(child.columns, cpu, group_by=node.group_by,
+                                    aggregates=node.aggregates, phase="complete")
+        record = cpu.charge(result.cost.seconds, earliest=child.ready,
+                            label=f"aggregate-{node.phase}")
+        return NodeResult(columns=result.columns, ready=record.end,
+                          location=cpu.name, devices=[cpu])
+
+    def _execute_sort(self, node: PSort) -> NodeResult:
+        child = self._execute(node.child)
+        cpu = self.topology.cpus()[0]
+        order = np.lexsort([np.asarray(child.columns[key])
+                            for key in reversed(node.keys)])
+        columns = {name: np.asarray(values)[order]
+                   for name, values in child.columns.items()}
+        record = cpu.charge(cpu.cost.seq_scan(child.nbytes) * 2,
+                            earliest=child.ready, label="sort")
+        return NodeResult(columns=columns, ready=record.end,
+                          location=cpu.name, devices=[cpu])
+
+    # ------------------------------------------------------------------
+    # Joins
+    # ------------------------------------------------------------------
+    def _execute_join(self, node: PJoin) -> NodeResult:
+        build = self._execute(node.build)
+        probe = self._execute(node.probe)
+        earliest = max(build.ready, probe.ready)
+        devices = probe.devices or self._default_devices()
+
+        if node.algorithm is JoinAlgorithm.COPROCESSED_RADIX:
+            return self._execute_coprocessed_join(node, build, probe, earliest)
+
+        if node.algorithm is JoinAlgorithm.RADIX_CPU:
+            cpus = [device for device in devices if device.is_cpu] \
+                or list(self.topology.cpus())
+            result = cpu_radix_join(build.columns, probe.columns, cpus[0],
+                                    build_keys=node.build_keys,
+                                    probe_keys=node.probe_keys)
+            ready = self._charge_parallel(
+                cpus, {DeviceKind.CPU: result.cost},
+                self._split_fractions(cpus, probe.location),
+                earliest=earliest, input_bytes=probe.nbytes,
+                data_location=probe.location, label="radix-join-cpu")
+            return NodeResult(columns=result.columns, ready=ready,
+                              location=cpus[0].name, devices=cpus)
+
+        if node.algorithm is JoinAlgorithm.RADIX_GPU:
+            gpus = [device for device in devices if device.is_gpu] \
+                or list(self.topology.gpus())
+            ready_build = self._broadcast_build(build, gpus, earliest)
+            result = gpu_partitioned_join(
+                build.columns, probe.columns, gpus[0],
+                build_keys=node.build_keys, probe_keys=node.probe_keys,
+                enforce_memory=self.options.enforce_gpu_memory)
+            ready = self._charge_parallel(
+                gpus, {DeviceKind.GPU: result.cost},
+                self._split_fractions(gpus, probe.location),
+                earliest=ready_build, input_bytes=probe.nbytes,
+                data_location=probe.location, label="radix-join-gpu")
+            return NodeResult(columns=result.columns, ready=ready,
+                              location=gpus[0].name, devices=devices)
+
+        # Non-partitioned hash join on whatever devices the probe pipeline uses.
+        ready_build = self._broadcast_build(
+            build, [device for device in devices if device.is_gpu], earliest)
+        cost_by_kind: dict[DeviceKind, OpCost] = {}
+        output = None
+        for kind in {device.kind for device in devices}:
+            representative = self._representative(devices, kind)
+            if (representative.is_gpu and self.options.enforce_gpu_memory):
+                table_bytes = build_table_bytes(build.num_rows)
+                allocation = representative.allocate(table_bytes,
+                                                     label="join hash table")
+                allocation.free()
+            result = non_partitioned_join(
+                build.columns, probe.columns, representative,
+                build_keys=node.build_keys, probe_keys=node.probe_keys)
+            cost_by_kind[kind] = result.cost
+            if output is None or representative.is_cpu:
+                output = result
+        fractions = self._split_fractions(devices, probe.location)
+        ready = self._charge_parallel(
+            devices, cost_by_kind, fractions, earliest=max(earliest, ready_build),
+            input_bytes=probe.nbytes, data_location=probe.location,
+            label="hash-join", join_shuffle=True)
+        return NodeResult(columns=output.columns, ready=ready,
+                          location=probe.location, devices=devices)
+
+    def _broadcast_build(self, build: NodeResult, gpus: Sequence[Device],
+                         earliest: float) -> float:
+        """Send the build-side data to every GPU participating in the probe."""
+        ready = earliest
+        for gpu in gpus:
+            if build.location == gpu.name:
+                continue
+            if self.options.enforce_gpu_memory:
+                gpu.allocate(build.nbytes, label="broadcast build side").free()
+            route = self.topology.route(build.location, gpu.name)
+            ready = max(ready, route.transfer(build.nbytes, earliest=earliest,
+                                              label="broadcast-build"))
+        return ready
+
+    def _execute_coprocessed_join(self, node: PJoin, build: NodeResult,
+                                  probe: NodeResult, earliest: float) -> NodeResult:
+        cpu = self.topology.cpus()[0]
+        gpus = list(self.topology.gpus())
+        if not gpus:
+            raise ExecutionError("co-processed join requires GPUs")
+        result = coprocessed_radix_join(
+            build.columns, probe.columns, self.topology,
+            build_keys=node.build_keys, probe_keys=node.probe_keys,
+            cpu=cpu, gpus=gpus)
+        ready = max(earliest,
+                    max(device.clock.available_at for device in [cpu, *gpus]))
+        return NodeResult(columns=result.columns, ready=ready,
+                          location=cpu.name, devices=[cpu, *gpus])

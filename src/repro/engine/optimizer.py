@@ -1,0 +1,240 @@
+"""Heterogeneity-aware query optimizer.
+
+The optimizer lowers a device-agnostic logical plan into a physical plan in
+which every relational operator carries its traits (device type, degree of
+parallelism, locality, packing) and all trait conversions are explicit
+HetExchange operators — router above every scan for parallelism, mem-move +
+device-crossing on the GPU paths, gather routers before final aggregation.
+Join algorithms are selected per device exactly along the lines of
+Section 4.1/5: cache-or-TLB-conscious radix joins on CPUs, scratchpad-
+conscious partitioned joins in GPUs, the co-processed radix join when the
+inputs exceed GPU memory, and non-partitioned joins for small build sides.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import OptimizerError, PlanError
+from ..hardware.specs import DeviceKind
+from ..hardware.topology import Topology
+from ..operators.hashjoin import HASH_ENTRY_BYTES
+from ..relational.expr import AggregateSpec
+from ..relational.logical import (
+    Aggregate,
+    Filter,
+    Join,
+    LogicalPlan,
+    OrderBy,
+    Project,
+    Scan,
+)
+from ..relational.physical import (
+    DeviceCrossing,
+    JoinAlgorithm,
+    MemMove,
+    PAggregate,
+    PFilterProject,
+    PhysicalOp,
+    PJoin,
+    PScan,
+    PSort,
+    Router,
+    RoutingPolicy,
+)
+from ..relational.traits import Packing, Traits
+from ..storage.catalog import Catalog
+from .modes import ExecutionMode
+
+
+@dataclass(frozen=True)
+class OptimizerOptions:
+    """Optimizer knobs exposed to the benchmarks and ablations."""
+
+    routing_policy: RoutingPolicy = RoutingPolicy.LOAD_AWARE
+    prefer_partitioned_gpu_join: bool = True
+    small_build_rows: int = 2_000_000
+
+
+class Optimizer:
+    """Lowers logical plans into heterogeneity-aware physical plans."""
+
+    def __init__(self, topology: Topology, catalog: Catalog,
+                 options: OptimizerOptions | None = None) -> None:
+        self.topology = topology
+        self.catalog = catalog
+        self.options = options or OptimizerOptions()
+
+    # ------------------------------------------------------------------
+    def optimize(self, plan: LogicalPlan,
+                 mode: ExecutionMode | str = ExecutionMode.HYBRID) -> PhysicalOp:
+        """Produce the physical plan for the requested engine configuration."""
+        mode = ExecutionMode.parse(mode)
+        if mode.uses_gpus and not self.topology.gpus():
+            raise OptimizerError(
+                f"mode {mode.value!r} requires GPUs but the topology has none"
+            )
+        return self._convert(plan, mode)
+
+    # ------------------------------------------------------------------
+    def _devices_for(self, mode: ExecutionMode) -> list[str]:
+        devices: list[str] = []
+        if mode.uses_cpus:
+            devices.extend(device.name for device in self.topology.cpus())
+        if mode.uses_gpus:
+            devices.extend(device.name for device in self.topology.gpus())
+        return devices
+
+    def _worker_traits(self, mode: ExecutionMode, locality: str) -> Traits:
+        device_kind = DeviceKind.GPU if mode is ExecutionMode.GPU_ONLY else DeviceKind.CPU
+        return Traits(
+            device=device_kind,
+            parallelism=max(len(self._devices_for(mode)), 1),
+            locality=locality,
+            packing=Packing.PACKET,
+        )
+
+    #: Default selectivity assumed for each filter when estimating join
+    #: build sizes (the optimizer has no histograms in this prototype).
+    FILTER_SELECTIVITY = 0.3
+
+    def _estimate_rows(self, plan: LogicalPlan) -> int:
+        """Row estimate: largest base table underneath, discounted by filters."""
+        tables = plan.referenced_tables()
+        if not tables:
+            return 1
+        base = max(self.catalog.stats(table).num_rows for table in tables
+                   if table in self.catalog)
+        filters = sum(1 for node in plan.walk() if isinstance(node, Filter))
+        return max(int(base * (self.FILTER_SELECTIVITY ** filters)), 1)
+
+    # ------------------------------------------------------------------
+    def _convert(self, plan: LogicalPlan, mode: ExecutionMode) -> PhysicalOp:
+        if isinstance(plan, Scan):
+            return self._convert_scan(plan, mode)
+        if isinstance(plan, Filter):
+            return self._convert_filter(plan, mode)
+        if isinstance(plan, Project):
+            return self._convert_project(plan, mode)
+        if isinstance(plan, Join):
+            return self._convert_join(plan, mode)
+        if isinstance(plan, Aggregate):
+            return self._convert_aggregate(plan, mode)
+        if isinstance(plan, OrderBy):
+            child = self._convert(plan.child, mode)
+            return PSort(traits=Traits(device=DeviceKind.CPU, parallelism=1),
+                         child=child, keys=plan.keys)
+        raise PlanError(f"optimizer cannot lower {type(plan).__name__}")
+
+    def _convert_scan(self, plan: Scan, mode: ExecutionMode) -> PhysicalOp:
+        table = self.catalog.table(plan.table)
+        scan_traits = Traits(device=DeviceKind.CPU, parallelism=1,
+                             locality=table.location)
+        scan_op: PhysicalOp = PScan(traits=scan_traits, table=plan.table,
+                                    columns=plan.columns)
+        consumers = tuple(self._devices_for(mode))
+        router_traits = scan_traits.with_parallelism(max(len(consumers), 1))
+        routed: PhysicalOp = Router(traits=router_traits, child=scan_op,
+                                    policy=self.options.routing_policy,
+                                    consumers=consumers)
+        if mode is ExecutionMode.GPU_ONLY:
+            gpu_names = [d.name for d in self.topology.gpus()]
+            moved = MemMove(traits=router_traits.with_locality("gpu"),
+                            child=routed, destination=",".join(gpu_names))
+            routed = DeviceCrossing(
+                traits=router_traits.with_device(DeviceKind.GPU),
+                child=moved, target_kind=DeviceKind.GPU)
+        return routed
+
+    def _convert_filter(self, plan: Filter, mode: ExecutionMode) -> PhysicalOp:
+        child = self._convert(plan.child, mode)
+        if isinstance(child, PFilterProject) and child.predicate is None:
+            child.predicate = plan.predicate
+            return child
+        traits = self._worker_traits(mode, locality=child.traits.locality)
+        return PFilterProject(traits=traits, child=child,
+                              predicate=plan.predicate, projections=None)
+
+    def _convert_project(self, plan: Project, mode: ExecutionMode) -> PhysicalOp:
+        child = self._convert(plan.child, mode)
+        if isinstance(child, PFilterProject) and not child.projections:
+            child.projections = dict(plan.projections)
+            return child
+        traits = self._worker_traits(mode, locality=child.traits.locality)
+        return PFilterProject(traits=traits, child=child, predicate=None,
+                              projections=dict(plan.projections))
+
+    # ------------------------------------------------------------------
+    def _choose_join_algorithm(self, build_rows: int, probe_rows: int,
+                               mode: ExecutionMode) -> JoinAlgorithm:
+        build_bytes = build_rows * HASH_ENTRY_BYTES
+        if mode is ExecutionMode.CPU_ONLY:
+            cpu = self.topology.cpus()[0]
+            if (build_rows > self.options.small_build_rows
+                    or build_bytes > cpu.spec.last_level_cache.capacity_bytes):
+                return JoinAlgorithm.RADIX_CPU
+            return JoinAlgorithm.NON_PARTITIONED
+        gpus = self.topology.gpus()
+        gpu_capacity = min(gpu.spec.memory_capacity_bytes for gpu in gpus)
+        # Leave room for the probe stream, partitions and the result buffers.
+        fits_in_gpu = build_bytes * 4 < gpu_capacity
+        if mode is ExecutionMode.GPU_ONLY:
+            if not fits_in_gpu:
+                raise OptimizerError(
+                    "GPU-only execution impossible: the join build side "
+                    f"({build_bytes} bytes of hash tables) exceeds GPU memory"
+                )
+            if (self.options.prefer_partitioned_gpu_join
+                    and build_rows > self.options.small_build_rows):
+                return JoinAlgorithm.RADIX_GPU
+            return JoinAlgorithm.NON_PARTITIONED
+        # Hybrid: co-process when the inputs exceed the accelerator memory.
+        if not fits_in_gpu or build_rows > 4 * self.options.small_build_rows:
+            return JoinAlgorithm.COPROCESSED_RADIX
+        if (self.options.prefer_partitioned_gpu_join
+                and build_rows > self.options.small_build_rows):
+            return JoinAlgorithm.RADIX_GPU
+        return JoinAlgorithm.NON_PARTITIONED
+
+    def _convert_join(self, plan: Join, mode: ExecutionMode) -> PhysicalOp:
+        left_rows = self._estimate_rows(plan.left)
+        right_rows = self._estimate_rows(plan.right)
+        # The smaller input becomes the build side.
+        if left_rows <= right_rows:
+            build_plan, probe_plan = plan.left, plan.right
+            build_keys, probe_keys = plan.left_keys, plan.right_keys
+            build_rows, probe_rows = left_rows, right_rows
+        else:
+            build_plan, probe_plan = plan.right, plan.left
+            build_keys, probe_keys = plan.right_keys, plan.left_keys
+            build_rows, probe_rows = right_rows, left_rows
+        algorithm = self._choose_join_algorithm(build_rows, probe_rows, mode)
+        # Build sides are produced by CPU pipelines (dimension tables live in
+        # CPU memory); the join itself runs wherever the probe pipeline runs.
+        build_mode = (ExecutionMode.CPU_ONLY
+                      if algorithm is not JoinAlgorithm.RADIX_GPU
+                      or mode is not ExecutionMode.GPU_ONLY else mode)
+        build = self._convert(build_plan, build_mode)
+        probe = self._convert(probe_plan, mode)
+        traits = self._worker_traits(mode, locality=probe.traits.locality)
+        return PJoin(traits=traits, build=build, probe=probe,
+                     build_keys=tuple(build_keys), probe_keys=tuple(probe_keys),
+                     algorithm=algorithm)
+
+    def _convert_aggregate(self, plan: Aggregate, mode: ExecutionMode) -> PhysicalOp:
+        child = self._convert(plan.child, mode)
+        worker_traits = self._worker_traits(mode, locality=child.traits.locality)
+        partial = PAggregate(traits=worker_traits, child=child,
+                             group_by=plan.group_by,
+                             aggregates=plan.aggregates, phase="partial")
+        gather_traits = Traits(device=DeviceKind.CPU, parallelism=1,
+                               locality="cpu0")
+        gather = Router(traits=gather_traits, child=partial,
+                        policy=RoutingPolicy.ROUND_ROBIN, consumers=("cpu0",))
+        crossing: PhysicalOp = gather
+        if mode is ExecutionMode.GPU_ONLY:
+            crossing = DeviceCrossing(traits=gather_traits, child=gather,
+                                      target_kind=DeviceKind.CPU)
+        return PAggregate(traits=gather_traits, child=crossing,
+                          group_by=plan.group_by, aggregates=plan.aggregates,
+                          phase="final")

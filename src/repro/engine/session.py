@@ -1,0 +1,115 @@
+"""The HAPE engine facade.
+
+:class:`HAPEEngine` ties the pieces together: a simulated server topology, a
+catalog of registered tables, the heterogeneity-aware optimizer, the JIT
+pipeline extraction and the executor.  A query is submitted as a logical
+plan; the result bundles the actual output table with the simulated timing
+information the evaluation figures are built from.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..codegen.pipeline import Pipeline, break_into_pipelines
+from ..hardware.topology import Topology, default_server
+from ..relational.logical import LogicalPlan
+from ..relational.physical import PhysicalOp
+from ..storage.catalog import Catalog
+from ..storage.table import Table
+from .executor import ExecutionResult, Executor, ExecutorOptions
+from .modes import ExecutionMode
+from .optimizer import Optimizer, OptimizerOptions
+
+
+@dataclass
+class QueryResult:
+    """Everything a query run produces."""
+
+    table: Table
+    simulated_seconds: float
+    device_busy: dict[str, float]
+    link_bytes: dict[str, int]
+    mode: ExecutionMode
+    physical_plan: PhysicalOp
+    pipelines: list[Pipeline]
+
+    @property
+    def makespan_ms(self) -> float:
+        return self.simulated_seconds * 1e3
+
+    def busy_fraction(self, resource: str) -> float:
+        if self.simulated_seconds <= 0:
+            return 0.0
+        return self.device_busy.get(resource, 0.0) / self.simulated_seconds
+
+    def describe(self) -> str:
+        lines = [
+            f"mode={self.mode.value} simulated_time={self.simulated_seconds * 1e3:.3f} ms",
+            f"result rows={self.table.num_rows}",
+        ]
+        for resource, busy in sorted(self.device_busy.items()):
+            if busy > 0:
+                lines.append(f"  {resource:>8}: busy {busy * 1e3:.3f} ms "
+                             f"({100 * self.busy_fraction(resource):.0f}%)")
+        return "\n".join(lines)
+
+
+class HAPEEngine:
+    """Heterogeneity-conscious Analytical query Processing Engine."""
+
+    def __init__(self, topology: Topology | None = None, *,
+                 optimizer_options: OptimizerOptions | None = None,
+                 executor_options: ExecutorOptions | None = None) -> None:
+        self.topology = topology if topology is not None else default_server()
+        self.catalog = Catalog()
+        self.optimizer = Optimizer(self.topology, self.catalog,
+                                   optimizer_options)
+        self.executor = Executor(self.topology, self.catalog, executor_options)
+
+    # ------------------------------------------------------------------
+    # Catalog management
+    # ------------------------------------------------------------------
+    def register_table(self, table: Table, *, replace: bool = False) -> None:
+        """Register a table so plans can scan it."""
+        self.catalog.register(table, replace=replace)
+
+    def register_dataset(self, tables: dict[str, Table], *,
+                         replace: bool = False) -> None:
+        """Register a whole dataset (e.g. the TPC-H tables) at once."""
+        for table in tables.values():
+            self.register_table(table, replace=replace)
+
+    # ------------------------------------------------------------------
+    # Planning and execution
+    # ------------------------------------------------------------------
+    def plan(self, logical: LogicalPlan,
+             mode: ExecutionMode | str = ExecutionMode.HYBRID) -> PhysicalOp:
+        """Lower a logical plan without executing it."""
+        return self.optimizer.optimize(logical, mode)
+
+    def explain(self, logical: LogicalPlan,
+                mode: ExecutionMode | str = ExecutionMode.HYBRID) -> str:
+        """Human-readable physical plan plus its pipelines."""
+        physical = self.plan(logical, mode)
+        pipelines = break_into_pipelines(physical)
+        lines = [physical.pretty(), "", "pipelines:"]
+        lines.extend("  " + pipeline.describe() for pipeline in pipelines)
+        return "\n".join(lines)
+
+    def execute(self, logical: LogicalPlan,
+                mode: ExecutionMode | str = ExecutionMode.HYBRID) -> QueryResult:
+        """Optimize, generate and execute a query on the simulated server."""
+        mode = ExecutionMode.parse(mode)
+        physical = self.plan(logical, mode)
+        pipelines = break_into_pipelines(physical)
+        result: ExecutionResult = self.executor.execute(physical)
+        return QueryResult(
+            table=result.table,
+            simulated_seconds=result.simulated_seconds,
+            device_busy=result.device_busy,
+            link_bytes=result.link_bytes,
+            mode=mode,
+            physical_plan=physical,
+            pipelines=pipelines,
+        )

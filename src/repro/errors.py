@@ -1,0 +1,83 @@
+"""Exception hierarchy for the HAPE reproduction.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library-specific failures without masking programming
+errors such as ``TypeError``.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class HardwareError(ReproError):
+    """Errors raised by the simulated hardware substrate."""
+
+
+class OutOfDeviceMemoryError(HardwareError):
+    """Raised when an allocation does not fit in a device's memory pool.
+
+    The paper relies on this failure mode: DBMS G and the GPU-only Proteus
+    configuration cannot run TPC-H Q9 because the intermediate hash tables
+    exceed the aggregate GPU memory (Section 6.4).
+    """
+
+    def __init__(self, device: str, requested: int, available: int) -> None:
+        self.device = device
+        self.requested = int(requested)
+        self.available = int(available)
+        super().__init__(
+            f"device {device!r} cannot allocate {requested} bytes "
+            f"({available} bytes available)"
+        )
+
+
+class UnknownDeviceError(HardwareError):
+    """Raised when a device id cannot be resolved in the topology."""
+
+
+class NoRouteError(HardwareError):
+    """Raised when two devices are not connected by any interconnect path."""
+
+
+class StorageError(ReproError):
+    """Errors raised by the columnar storage layer."""
+
+
+class SchemaError(StorageError):
+    """Raised when a column/table schema is inconsistent with its data."""
+
+
+class CatalogError(StorageError):
+    """Raised for unknown or duplicate table registrations."""
+
+
+class PlanError(ReproError):
+    """Raised when a logical or physical plan is malformed."""
+
+
+class ExpressionError(PlanError):
+    """Raised when an expression references unknown columns or mixes types."""
+
+
+class CodegenError(ReproError):
+    """Raised when pipeline extraction or code generation fails."""
+
+
+class ExecutionError(ReproError):
+    """Raised when a plan cannot be executed on the simulated server."""
+
+
+class UnsupportedQueryError(ExecutionError):
+    """Raised by engines (notably the baselines) for unsupported queries.
+
+    DBMS G in the paper "was unable to run on 3 queries"; the simulated
+    baseline reports that through this exception instead of silently
+    producing numbers.
+    """
+
+
+class OptimizerError(ReproError):
+    """Raised when the heterogeneity-aware optimizer cannot place a plan."""

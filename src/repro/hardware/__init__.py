@@ -1,0 +1,55 @@
+"""Simulated heterogeneous hardware substrate.
+
+This package stands in for the physical multi-CPU multi-GPU server of the
+paper's evaluation (two Xeon E5-2650L v3 sockets, two GTX 1080 GPUs over
+dedicated PCIe 3 x16 links).  It provides device specifications, memory
+pools with capacity enforcement, an analytical cost model for memory-system
+behaviour and per-resource simulated clocks.
+"""
+
+from .clock import SimClock, TaskRecord, Timeline
+from .costmodel import AccessProfile, CostModel
+from .device import Device, DeviceGroup
+from .interconnect import Link, Route
+from .memory import Allocation, MemoryPool
+from .specs import (
+    CacheSpec,
+    DeviceKind,
+    DeviceSpec,
+    LinkSpec,
+    ScratchpadSpec,
+    TLBSpec,
+    gtx_1080,
+    pcie3_x16,
+    qpi_link,
+    xeon_e5_2650l_v3,
+)
+from .topology import Topology, cpu_only_server, default_server, single_gpu_server
+
+__all__ = [
+    "AccessProfile",
+    "Allocation",
+    "CacheSpec",
+    "CostModel",
+    "Device",
+    "DeviceGroup",
+    "DeviceKind",
+    "DeviceSpec",
+    "Link",
+    "LinkSpec",
+    "MemoryPool",
+    "Route",
+    "ScratchpadSpec",
+    "SimClock",
+    "TaskRecord",
+    "Timeline",
+    "TLBSpec",
+    "Topology",
+    "cpu_only_server",
+    "default_server",
+    "gtx_1080",
+    "pcie3_x16",
+    "qpi_link",
+    "single_gpu_server",
+    "xeon_e5_2650l_v3",
+]

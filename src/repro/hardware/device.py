@@ -1,0 +1,105 @@
+"""Simulated compute devices.
+
+A :class:`Device` bundles everything execution needs from one CPU socket or
+one GPU: its :class:`~repro.hardware.specs.DeviceSpec`, a memory pool
+enforcing capacity, a cost model converting work into time and a simulated
+clock that accumulates that time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .clock import SimClock, TaskRecord
+from .costmodel import CostModel
+from .memory import Allocation, MemoryPool
+from .specs import DeviceKind, DeviceSpec
+
+
+class Device:
+    """One compute device of the simulated heterogeneous server."""
+
+    def __init__(self, spec: DeviceSpec, *, numa_node: int = 0) -> None:
+        self.spec = spec
+        self.numa_node = numa_node
+        self.memory = MemoryPool(spec.name, spec.memory_capacity_bytes)
+        self.cost = CostModel(spec)
+        self.clock = SimClock(spec.name)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"Device({self.spec.name!r}, kind={self.spec.kind.value})"
+
+    # Identity -----------------------------------------------------------
+    @property
+    def name(self) -> str:
+        return self.spec.name
+
+    @property
+    def kind(self) -> DeviceKind:
+        return self.spec.kind
+
+    @property
+    def is_gpu(self) -> bool:
+        return self.spec.kind is DeviceKind.GPU
+
+    @property
+    def is_cpu(self) -> bool:
+        return self.spec.kind is DeviceKind.CPU
+
+    # Memory -------------------------------------------------------------
+    def allocate(self, nbytes: int, label: str = "buffer") -> Allocation:
+        """Allocate device-local memory, enforcing the capacity limit."""
+        return self.memory.allocate(nbytes, label)
+
+    def fits_in_memory(self, nbytes: int) -> bool:
+        return self.memory.can_fit(nbytes)
+
+    # Time ---------------------------------------------------------------
+    def charge(self, seconds: float, *, earliest: float = 0.0,
+               label: str = "work") -> TaskRecord:
+        """Charge ``seconds`` of busy time to this device's clock."""
+        return self.clock.reserve(seconds, earliest=earliest, label=label)
+
+    def reset(self) -> None:
+        """Reset clock and free all allocations (between experiments)."""
+        self.clock.reset()
+        self.memory.release_all()
+
+
+@dataclass(frozen=True)
+class DeviceGroup:
+    """A named homogeneous group of devices (e.g. "all GPUs").
+
+    The optimizer reasons about groups when it decides the degree of
+    parallelism of each plan fragment — the parallelism trait of Section 3.
+    """
+
+    name: str
+    devices: tuple[Device, ...]
+
+    def __post_init__(self) -> None:
+        if not self.devices:
+            raise ValueError(f"device group {self.name!r} cannot be empty")
+        kinds = {device.kind for device in self.devices}
+        if len(kinds) != 1:
+            raise ValueError(
+                f"device group {self.name!r} mixes device kinds: {kinds}"
+            )
+
+    @property
+    def kind(self) -> DeviceKind:
+        return self.devices[0].kind
+
+    @property
+    def aggregate_memory_bytes(self) -> int:
+        return sum(device.spec.memory_capacity_bytes for device in self.devices)
+
+    @property
+    def aggregate_bandwidth_gib_s(self) -> float:
+        return sum(device.spec.memory_bandwidth_gib_s for device in self.devices)
+
+    def __len__(self) -> int:
+        return len(self.devices)
+
+    def __iter__(self):
+        return iter(self.devices)

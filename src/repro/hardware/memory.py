@@ -1,0 +1,108 @@
+"""Per-device memory pools with capacity enforcement.
+
+The paper's evaluation repeatedly relies on capacity limits: the in-GPU join
+only works up to 128 M tuples per table (Figure 6), DBMS G "is not designed
+for out-of-GPU datasets" (Figure 7) and neither GPU-only system can run Q9
+(Figure 8).  The :class:`MemoryPool` makes those limits explicit — an
+allocation that does not fit raises :class:`OutOfDeviceMemoryError` instead
+of silently succeeding.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+from ..errors import OutOfDeviceMemoryError
+
+_allocation_ids = itertools.count()
+
+
+@dataclass
+class Allocation:
+    """A live allocation inside a :class:`MemoryPool`."""
+
+    pool: "MemoryPool"
+    nbytes: int
+    label: str
+    allocation_id: int = field(default_factory=lambda: next(_allocation_ids))
+    freed: bool = False
+
+    def free(self) -> None:
+        """Release the allocation back to its pool (idempotent)."""
+        if not self.freed:
+            self.pool._release(self)
+            self.freed = True
+
+    def __enter__(self) -> "Allocation":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.free()
+
+
+class MemoryPool:
+    """Tracks used/free bytes of one memory node (DRAM socket or GPU)."""
+
+    def __init__(self, owner: str, capacity_bytes: int) -> None:
+        if capacity_bytes <= 0:
+            raise ValueError("memory pool needs a positive capacity")
+        self.owner = owner
+        self.capacity_bytes = int(capacity_bytes)
+        self._used_bytes = 0
+        self._live: dict[int, Allocation] = {}
+        self._peak_bytes = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return (
+            f"MemoryPool({self.owner!r}, used={self._used_bytes}, "
+            f"capacity={self.capacity_bytes})"
+        )
+
+    @property
+    def used_bytes(self) -> int:
+        return self._used_bytes
+
+    @property
+    def free_bytes(self) -> int:
+        return self.capacity_bytes - self._used_bytes
+
+    @property
+    def peak_bytes(self) -> int:
+        """High-water mark of concurrent usage."""
+        return self._peak_bytes
+
+    @property
+    def live_allocations(self) -> tuple[Allocation, ...]:
+        return tuple(self._live.values())
+
+    def can_fit(self, nbytes: int) -> bool:
+        """Whether ``nbytes`` could currently be allocated."""
+        return int(nbytes) <= self.free_bytes
+
+    def allocate(self, nbytes: int, label: str = "buffer") -> Allocation:
+        """Reserve ``nbytes``; raises when the pool would overflow."""
+        nbytes = int(nbytes)
+        if nbytes < 0:
+            raise ValueError("cannot allocate a negative number of bytes")
+        if nbytes > self.free_bytes:
+            raise OutOfDeviceMemoryError(self.owner, nbytes, self.free_bytes)
+        allocation = Allocation(pool=self, nbytes=nbytes, label=label)
+        self._live[allocation.allocation_id] = allocation
+        self._used_bytes += nbytes
+        self._peak_bytes = max(self._peak_bytes, self._used_bytes)
+        return allocation
+
+    def _release(self, allocation: Allocation) -> None:
+        if allocation.allocation_id in self._live:
+            del self._live[allocation.allocation_id]
+            self._used_bytes -= allocation.nbytes
+
+    def release_all(self) -> None:
+        """Free every live allocation (used between benchmark repetitions)."""
+        for allocation in list(self._live.values()):
+            allocation.free()
+
+    def utilization(self) -> float:
+        """Fraction of the capacity currently in use."""
+        return self._used_bytes / self.capacity_bytes

@@ -1,0 +1,269 @@
+"""Hardware specifications for the simulated heterogeneous server.
+
+The paper evaluates on a server with two Intel Xeon E5-2650L v3 sockets and
+two NVidia GeForce GTX 1080 GPUs connected over dedicated PCIe 3 x16 links
+(Section 6.1).  The classes below capture the micro-architectural quantities
+the paper's analysis depends on:
+
+* cache capacities and line sizes (over-fetching on random accesses),
+* TLB reach (limits the CPU partitioning fan-out),
+* GPU scratchpad (shared memory) capacity and banking (limits the GPU
+  partitioning fan-out and hosts the per-partition hash tables),
+* memory and interconnect bandwidths (DRAM vs GDDR vs PCIe).
+
+All bandwidth figures are expressed in GiB/s and all capacities in bytes so
+that the cost model can stay in SI-free byte/second arithmetic.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field, replace
+
+GIB = 1024 ** 3
+MIB = 1024 ** 2
+KIB = 1024
+
+
+class DeviceKind(enum.Enum):
+    """The two device classes the paper's prototype targets."""
+
+    CPU = "cpu"
+    GPU = "gpu"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+@dataclass(frozen=True)
+class CacheSpec:
+    """A single level of a hardware-managed cache.
+
+    Attributes
+    ----------
+    name:
+        Human readable level name (``"L1"``, ``"L2"``, ...).
+    capacity_bytes:
+        Usable capacity of the level *per sharing domain* (per core for
+        private levels, per device for shared levels).
+    line_bytes:
+        Fetch granularity.  Random accesses smaller than a line over-fetch
+        and waste bandwidth, which is the core argument of Section 4.1.
+    bandwidth_gib_s:
+        Peak bandwidth the level can deliver to its consumers.
+    latency_ns:
+        Access latency for a hit in this level.
+    shared:
+        Whether the level is shared by all cores/SMs of the device.
+    """
+
+    name: str
+    capacity_bytes: int
+    line_bytes: int
+    bandwidth_gib_s: float
+    latency_ns: float
+    shared: bool = False
+
+    def __post_init__(self) -> None:
+        if self.capacity_bytes <= 0:
+            raise ValueError(f"cache {self.name!r} needs a positive capacity")
+        if self.line_bytes <= 0:
+            raise ValueError(f"cache {self.name!r} needs a positive line size")
+        if self.bandwidth_gib_s <= 0:
+            raise ValueError(f"cache {self.name!r} needs a positive bandwidth")
+
+
+@dataclass(frozen=True)
+class TLBSpec:
+    """Translation lookaside buffer description.
+
+    ``reach_bytes`` (entries * page size) bounds the working set that can be
+    written without TLB misses; the CPU radix partitioning fan-out is chosen
+    so that one output partition per TLB entry is being written at a time.
+    """
+
+    entries: int
+    page_bytes: int
+    miss_penalty_ns: float
+
+    def __post_init__(self) -> None:
+        if self.entries <= 0:
+            raise ValueError("a TLB needs at least one entry")
+        if self.page_bytes <= 0:
+            raise ValueError("a TLB needs a positive page size")
+
+    @property
+    def reach_bytes(self) -> int:
+        """Total bytes addressable without misses."""
+        return self.entries * self.page_bytes
+
+
+@dataclass(frozen=True)
+class ScratchpadSpec:
+    """Software-managed scratchpad (CUDA "shared memory") of one SM.
+
+    The scratchpad serves one word per bank per warp-request regardless of
+    the address, so it does not over-fetch; that property is what Figure 5
+    measures against the L1 alternative.
+    """
+
+    capacity_bytes: int
+    banks: int
+    bank_width_bytes: int
+    bandwidth_gib_s: float
+    latency_ns: float
+
+    def __post_init__(self) -> None:
+        if self.capacity_bytes <= 0:
+            raise ValueError("scratchpad needs a positive capacity")
+        if self.banks <= 0:
+            raise ValueError("scratchpad needs a positive bank count")
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """Full description of one compute device (a CPU socket or a GPU)."""
+
+    name: str
+    kind: DeviceKind
+    compute_units: int
+    threads_per_unit: int
+    clock_ghz: float
+    memory_capacity_bytes: int
+    memory_bandwidth_gib_s: float
+    memory_latency_ns: float
+    memory_access_granularity_bytes: int
+    max_outstanding_misses: int
+    caches: tuple[CacheSpec, ...]
+    tlb: TLBSpec
+    scratchpad: ScratchpadSpec | None = None
+    kernel_launch_us: float = 0.0
+    atomic_ops_per_sec: float = 1e9
+    notes: str = ""
+
+    def __post_init__(self) -> None:
+        if self.compute_units <= 0:
+            raise ValueError("device needs at least one compute unit")
+        if self.memory_capacity_bytes <= 0:
+            raise ValueError("device needs a positive memory capacity")
+        if self.memory_bandwidth_gib_s <= 0:
+            raise ValueError("device needs a positive memory bandwidth")
+        if self.kind is DeviceKind.GPU and self.scratchpad is None:
+            raise ValueError("GPU devices must describe their scratchpad")
+
+    @property
+    def total_threads(self) -> int:
+        """Total hardware threads (CPU) or resident threads (GPU)."""
+        return self.compute_units * self.threads_per_unit
+
+    def cache(self, name: str) -> CacheSpec:
+        """Return the cache level called ``name``.
+
+        Raises ``KeyError`` if the device has no such level, which keeps
+        call-sites honest about which hierarchy they assume.
+        """
+        for level in self.caches:
+            if level.name.upper() == name.upper():
+                return level
+        raise KeyError(f"device {self.name!r} has no cache level {name!r}")
+
+    @property
+    def last_level_cache(self) -> CacheSpec:
+        """The largest (last) cache level."""
+        return max(self.caches, key=lambda level: level.capacity_bytes)
+
+    def with_memory_capacity(self, capacity_bytes: int) -> "DeviceSpec":
+        """Return a copy with a different memory capacity (for what-ifs)."""
+        return replace(self, memory_capacity_bytes=int(capacity_bytes))
+
+
+@dataclass(frozen=True)
+class LinkSpec:
+    """An interconnect link between two memory/compute nodes."""
+
+    name: str
+    bandwidth_gib_s: float
+    latency_us: float
+    full_duplex: bool = True
+
+    def __post_init__(self) -> None:
+        if self.bandwidth_gib_s <= 0:
+            raise ValueError("link needs a positive bandwidth")
+        if self.latency_us < 0:
+            raise ValueError("link latency cannot be negative")
+
+
+def xeon_e5_2650l_v3(name: str = "cpu0") -> DeviceSpec:
+    """The CPU socket used in the paper's testbed.
+
+    12 cores at 1.8 GHz, 64 KiB L1 and 256 KiB L2 per core, 30 MiB shared
+    L3, 128 GiB of the server's 256 GiB DRAM attached per socket.
+    """
+    return DeviceSpec(
+        name=name,
+        kind=DeviceKind.CPU,
+        compute_units=12,
+        threads_per_unit=2,
+        clock_ghz=1.8,
+        memory_capacity_bytes=128 * GIB,
+        memory_bandwidth_gib_s=60.0,
+        memory_latency_ns=85.0,
+        memory_access_granularity_bytes=64,
+        max_outstanding_misses=10 * 12,
+        caches=(
+            CacheSpec("L1", 64 * KIB, 64, 1000.0, 1.5),
+            CacheSpec("L2", 256 * KIB, 64, 500.0, 4.0),
+            CacheSpec("L3", 30 * MIB, 64, 200.0, 20.0, shared=True),
+        ),
+        tlb=TLBSpec(entries=64, page_bytes=2 * MIB, miss_penalty_ns=35.0),
+        scratchpad=None,
+        kernel_launch_us=0.0,
+        atomic_ops_per_sec=2.0e9,
+        notes="Intel Xeon E5-2650L v3 (paper testbed, one socket)",
+    )
+
+
+def gtx_1080(name: str = "gpu0") -> DeviceSpec:
+    """The GPU used in the paper's testbed.
+
+    20 SMs, 8 GiB GDDR5X with ~280 GiB/s effective bandwidth (the figure the
+    paper quotes in Section 6.3), 96 KiB scratchpad per SM, 32-byte memory
+    access sectors.
+    """
+    return DeviceSpec(
+        name=name,
+        kind=DeviceKind.GPU,
+        compute_units=20,
+        threads_per_unit=2048,
+        clock_ghz=1.6,
+        memory_capacity_bytes=8 * GIB,
+        memory_bandwidth_gib_s=280.0,
+        memory_latency_ns=350.0,
+        memory_access_granularity_bytes=32,
+        max_outstanding_misses=20 * 64,
+        caches=(
+            CacheSpec("L1", 48 * KIB, 128, 4000.0, 30.0),
+            CacheSpec("L2", 2 * MIB, 64, 1500.0, 120.0, shared=True),
+        ),
+        tlb=TLBSpec(entries=64, page_bytes=2 * MIB, miss_penalty_ns=300.0),
+        scratchpad=ScratchpadSpec(
+            capacity_bytes=96 * KIB,
+            banks=32,
+            bank_width_bytes=4,
+            bandwidth_gib_s=9000.0,
+            latency_ns=25.0,
+        ),
+        kernel_launch_us=6.0,
+        atomic_ops_per_sec=20.0e9,
+        notes="NVidia GeForce GTX 1080 (paper testbed)",
+    )
+
+
+def pcie3_x16(name: str = "pcie") -> LinkSpec:
+    """A dedicated PCIe 3.0 x16 link (~12 GiB/s effective)."""
+    return LinkSpec(name=name, bandwidth_gib_s=12.0, latency_us=10.0)
+
+
+def qpi_link(name: str = "qpi") -> LinkSpec:
+    """The inter-socket QPI link of the dual-socket testbed."""
+    return LinkSpec(name=name, bandwidth_gib_s=30.0, latency_us=0.5)

@@ -1,0 +1,188 @@
+"""Server topology: devices, memory nodes and the interconnects between them.
+
+``default_server()`` recreates the paper's testbed (Section 6.1): two Xeon
+E5-2650L v3 sockets joined by QPI, and two GTX 1080 GPUs each attached to
+one socket through a dedicated PCIe 3 x16 link.  The topology is held as a
+:mod:`networkx` graph so that routing (used by the ``mem-move`` operator to
+plan broadcasts with minimal copies) is plain shortest-path computation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Sequence
+
+import networkx as nx
+
+from ..errors import NoRouteError, UnknownDeviceError
+from .clock import Timeline
+from .device import Device, DeviceGroup
+from .interconnect import Link, Route
+from .specs import DeviceKind, DeviceSpec, LinkSpec, gtx_1080, pcie3_x16, qpi_link, xeon_e5_2650l_v3
+
+
+class Topology:
+    """The full simulated server: devices plus interconnect links."""
+
+    def __init__(self) -> None:
+        self._devices: dict[str, Device] = {}
+        self._links: dict[str, Link] = {}
+        self._graph = nx.Graph()
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add_device(self, spec: DeviceSpec, *, numa_node: int = 0) -> Device:
+        if spec.name in self._devices:
+            raise ValueError(f"duplicate device name {spec.name!r}")
+        device = Device(spec, numa_node=numa_node)
+        self._devices[spec.name] = device
+        self._graph.add_node(spec.name, device=device)
+        return device
+
+    def connect(self, node_a: str, node_b: str, spec: LinkSpec) -> Link:
+        for name in (node_a, node_b):
+            if name not in self._devices:
+                raise UnknownDeviceError(f"unknown device {name!r}")
+        if spec.name in self._links:
+            raise ValueError(f"duplicate link name {spec.name!r}")
+        link = Link(spec, node_a, node_b)
+        self._links[spec.name] = link
+        self._graph.add_edge(node_a, node_b, link=link,
+                             weight=1.0 / spec.bandwidth_gib_s)
+        return link
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+    @property
+    def devices(self) -> tuple[Device, ...]:
+        return tuple(self._devices.values())
+
+    @property
+    def links(self) -> tuple[Link, ...]:
+        return tuple(self._links.values())
+
+    def device(self, name: str) -> Device:
+        try:
+            return self._devices[name]
+        except KeyError as exc:
+            raise UnknownDeviceError(f"unknown device {name!r}") from exc
+
+    def link(self, name: str) -> Link:
+        return self._links[name]
+
+    def cpus(self) -> tuple[Device, ...]:
+        return tuple(d for d in self._devices.values() if d.is_cpu)
+
+    def gpus(self) -> tuple[Device, ...]:
+        return tuple(d for d in self._devices.values() if d.is_gpu)
+
+    def group(self, kind: DeviceKind) -> DeviceGroup:
+        devices = tuple(d for d in self._devices.values() if d.kind is kind)
+        return DeviceGroup(name=f"all-{kind.value}s", devices=devices)
+
+    # ------------------------------------------------------------------
+    # Routing and transfers
+    # ------------------------------------------------------------------
+    def route(self, source: str, destination: str) -> Route:
+        """Cheapest path (by inverse bandwidth) between two devices."""
+        self.device(source)
+        self.device(destination)
+        if source == destination:
+            return Route(source, destination, links=())
+        try:
+            path: Sequence[str] = nx.shortest_path(
+                self._graph, source, destination, weight="weight"
+            )
+        except nx.NetworkXNoPath as exc:
+            raise NoRouteError(
+                f"no interconnect path between {source!r} and {destination!r}"
+            ) from exc
+        links = []
+        for node_a, node_b in zip(path, path[1:]):
+            links.append(self._graph.edges[node_a, node_b]["link"])
+        return Route(source, destination, tuple(links))
+
+    def transfer_time(self, nbytes: int, source: str, destination: str) -> float:
+        """Pure estimate (no clock side effects) of a device-to-device copy."""
+        return self.route(source, destination).transfer_time(nbytes)
+
+    # ------------------------------------------------------------------
+    # Timing
+    # ------------------------------------------------------------------
+    def timeline(self) -> Timeline:
+        """A :class:`Timeline` aggregating every device and link clock."""
+        timeline = Timeline()
+        for device in self._devices.values():
+            timeline.add(device.clock)
+        for link in self._links.values():
+            timeline.add(link.clock)
+        return timeline
+
+    def reset(self) -> None:
+        """Reset all clocks and memory pools (between experiments)."""
+        for device in self._devices.values():
+            device.reset()
+        for link in self._links.values():
+            link.reset()
+
+    def describe(self) -> str:
+        """Human-readable summary used by the examples."""
+        lines = ["Simulated server topology:"]
+        for device in self._devices.values():
+            spec = device.spec
+            lines.append(
+                f"  {spec.name:>6} [{spec.kind.value}] "
+                f"{spec.compute_units} units, "
+                f"{spec.memory_capacity_bytes / 1024 ** 3:.0f} GiB @ "
+                f"{spec.memory_bandwidth_gib_s:.0f} GiB/s"
+            )
+        for link in self._links.values():
+            lines.append(
+                f"  {link.name:>6} {link.endpoint_a} <-> {link.endpoint_b} @ "
+                f"{link.spec.bandwidth_gib_s:.0f} GiB/s"
+            )
+        return "\n".join(lines)
+
+
+def default_server(*, num_cpus: int = 2, num_gpus: int = 2,
+                   cpu_spec: DeviceSpec | None = None,
+                   gpu_spec: DeviceSpec | None = None) -> Topology:
+    """Build the paper's testbed topology (2 CPU sockets, 2 GPUs).
+
+    GPUs are attached round-robin to the CPU sockets through dedicated PCIe
+    links; CPU sockets are fully connected through QPI links.
+    """
+    if num_cpus < 1:
+        raise ValueError("the server needs at least one CPU socket")
+    if num_gpus < 0:
+        raise ValueError("the number of GPUs cannot be negative")
+    topology = Topology()
+    base_cpu = cpu_spec or xeon_e5_2650l_v3()
+    base_gpu = gpu_spec or gtx_1080()
+    for index in range(num_cpus):
+        spec = replace(base_cpu, name=f"cpu{index}")
+        topology.add_device(spec, numa_node=index)
+    for index_a in range(num_cpus):
+        for index_b in range(index_a + 1, num_cpus):
+            topology.connect(
+                f"cpu{index_a}", f"cpu{index_b}",
+                qpi_link(f"qpi{index_a}{index_b}"),
+            )
+    for index in range(num_gpus):
+        spec = replace(base_gpu, name=f"gpu{index}")
+        socket = index % num_cpus
+        topology.add_device(spec, numa_node=socket)
+        topology.connect(f"cpu{socket}", f"gpu{index}", pcie3_x16(f"pcie{index}"))
+    return topology
+
+
+def single_gpu_server() -> Topology:
+    """Convenience topology with one CPU socket and one GPU."""
+    return default_server(num_cpus=1, num_gpus=1)
+
+
+def cpu_only_server(num_cpus: int = 2) -> Topology:
+    """Convenience topology with no accelerators."""
+    return default_server(num_cpus=num_cpus, num_gpus=0)

@@ -1,0 +1,74 @@
+"""Executable hardware-conscious operators and HetExchange meta-operators."""
+
+from .aggregate import hash_aggregate, merge_partials
+from .base import ArrayMap, OpCost, OpOutput, columns_nbytes, columns_num_rows
+from .coprocess import CoProcessingPlan, coprocessed_radix_join, plan_coprocessing
+from .exchange import (
+    Router,
+    broadcast,
+    device_crossing_cost,
+    mem_move,
+    zip_partitions,
+)
+from .filterproject import apply_filter_project, expression_op_count, scan_cost
+from .gpujoin import (
+    GpuJoinConfig,
+    L1_BUCKET_ARRAY_BYTES,
+    PROBE_VARIANTS,
+    gpu_partitioned_join,
+    probe_phase_cost,
+)
+from .hashjoin import (
+    HASH_ENTRY_BYTES,
+    build_table_bytes,
+    composite_key,
+    join_match_indices,
+    non_partitioned_join,
+)
+from .radix import (
+    PartitionPlan,
+    cpu_radix_join,
+    max_fanout,
+    partition_by_plan,
+    plan_partition_passes,
+    radix_partition,
+    target_partition_bytes,
+)
+
+__all__ = [
+    "ArrayMap",
+    "CoProcessingPlan",
+    "GpuJoinConfig",
+    "HASH_ENTRY_BYTES",
+    "L1_BUCKET_ARRAY_BYTES",
+    "OpCost",
+    "OpOutput",
+    "PROBE_VARIANTS",
+    "PartitionPlan",
+    "Router",
+    "apply_filter_project",
+    "broadcast",
+    "build_table_bytes",
+    "columns_nbytes",
+    "columns_num_rows",
+    "composite_key",
+    "coprocessed_radix_join",
+    "cpu_radix_join",
+    "device_crossing_cost",
+    "expression_op_count",
+    "gpu_partitioned_join",
+    "hash_aggregate",
+    "join_match_indices",
+    "max_fanout",
+    "mem_move",
+    "merge_partials",
+    "non_partitioned_join",
+    "partition_by_plan",
+    "plan_coprocessing",
+    "plan_partition_passes",
+    "probe_phase_cost",
+    "radix_partition",
+    "scan_cost",
+    "target_partition_bytes",
+    "zip_partitions",
+]

@@ -1,0 +1,190 @@
+"""Hash-based group-by aggregation.
+
+The engine aggregates in two phases (Section 4.2's homogeneous parallelism
+and Section 5's horizontal co-processing): every device instance builds a
+*partial* aggregate over the packets routed to it, and a final CPU-side
+instance merges the partials.  Partial hash tables are small (one entry per
+group), so the random accesses they incur land in cache/scratchpad; the cost
+model reflects that.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from ..hardware.costmodel import AccessProfile
+from ..hardware.device import Device
+from ..relational.expr import AggregateSpec
+from .base import ArrayMap, OpCost, OpOutput, columns_num_rows
+from .filterproject import compute_ops_per_sec, expression_op_count
+
+#: Bytes per hash-table entry per aggregate (key + running value).
+_ENTRY_BYTES = 16
+
+
+def _composite_keys(columns: Mapping[str, np.ndarray],
+                    group_by: Sequence[str]) -> np.ndarray:
+    """Combine the group-by columns into a single int64 grouping key."""
+    if not group_by:
+        return np.zeros(columns_num_rows(columns), dtype=np.int64)
+    combined = np.zeros(columns_num_rows(columns), dtype=np.int64)
+    for name in group_by:
+        combined = combined * 1_000_003 + np.asarray(columns[name], dtype=np.int64)
+    return combined
+
+
+def _aggregate_target(device: Device, table_bytes: int) -> str:
+    """Where the group hash table effectively lives on this device."""
+    if device.is_gpu:
+        scratchpad = device.spec.scratchpad
+        if scratchpad is not None and table_bytes <= scratchpad.capacity_bytes:
+            return "scratchpad"
+        return "L2"
+    if table_bytes <= device.spec.cache("L1").capacity_bytes:
+        return "L1"
+    if table_bytes <= device.spec.last_level_cache.capacity_bytes:
+        return "L3"
+    return "memory"
+
+
+def hash_aggregate(columns: Mapping[str, np.ndarray], device: Device, *,
+                   group_by: Sequence[str],
+                   aggregates: Sequence[AggregateSpec],
+                   phase: str = "complete") -> OpOutput:
+    """Aggregate one packet (or a concatenation of partials).
+
+    ``phase`` only affects how ``avg`` is handled: partial aggregation keeps
+    ``sum`` and ``count`` so that the final merge can recombine them; the
+    reference output shape (one ``avg`` column) is produced by the final /
+    complete phase.
+    """
+    columns = {name: np.asarray(values) for name, values in columns.items()}
+    num_rows = columns_num_rows(columns)
+    cost = OpCost()
+
+    group_keys = _composite_keys(columns, group_by)
+    if num_rows:
+        unique_keys, group_ids = np.unique(group_keys, return_inverse=True)
+    else:
+        unique_keys = np.asarray([], dtype=np.int64)
+        group_ids = np.asarray([], dtype=np.int64)
+    num_groups = max(len(unique_keys), 1)
+
+    # Cost: each input tuple performs one hash-table update (random access to
+    # a table of num_groups entries) and the per-aggregate arithmetic.
+    table_bytes = num_groups * _ENTRY_BYTES * max(len(aggregates), 1)
+    target = _aggregate_target(device, table_bytes)
+    if num_rows:
+        cost.add(
+            f"agg-update[{target}]",
+            device.cost.random_access(
+                AccessProfile(num_rows, _ENTRY_BYTES, table_bytes,
+                              write_fraction=1.0),
+                target=target,
+            ),
+        )
+        ops = sum(expression_op_count(spec.expr) + 2 for spec in aggregates)
+        cost.add("compute", num_rows * ops / compute_ops_per_sec(device))
+        if device.is_gpu:
+            cost.add("atomics", device.cost.atomic_ops(num_rows))
+            cost.add("kernel-launch", device.cost.kernel_launch())
+
+    result: ArrayMap = {}
+    if num_rows:
+        representative = np.zeros(len(unique_keys), dtype=np.int64)
+        representative[group_ids] = np.arange(num_rows)
+        for name in group_by:
+            result[name] = np.asarray(columns[name])[representative]
+    else:
+        for name in group_by:
+            result[name] = np.asarray(columns.get(name, np.asarray([])))[:0]
+
+    counts = (np.bincount(group_ids, minlength=len(unique_keys))
+              if num_rows else np.asarray([], dtype=np.int64))
+    for spec in aggregates:
+        result.update(_evaluate_aggregate(spec, columns, group_ids,
+                                          len(unique_keys), counts, phase))
+    return OpOutput(columns=result, cost=cost)
+
+
+def _evaluate_aggregate(spec: AggregateSpec, columns: Mapping[str, np.ndarray],
+                        group_ids: np.ndarray, num_groups: int,
+                        counts: np.ndarray, phase: str) -> ArrayMap:
+    if num_groups == 0:
+        empty = np.asarray([], dtype=np.float64)
+        if spec.func == "avg" and phase == "partial":
+            return {f"{spec.alias}__sum": empty, f"{spec.alias}__count": empty}
+        return {spec.alias: empty}
+    if spec.func == "count":
+        return {spec.alias: counts.astype(np.int64)}
+    values = np.asarray(spec.expr.evaluate(columns), dtype=np.float64)
+    sums = np.bincount(group_ids, weights=values, minlength=num_groups)
+    if spec.func == "sum":
+        return {spec.alias: sums}
+    if spec.func == "avg":
+        if phase == "partial":
+            return {f"{spec.alias}__sum": sums,
+                    f"{spec.alias}__count": counts.astype(np.float64)}
+        return {spec.alias: sums / np.maximum(counts, 1)}
+    if spec.func == "min":
+        out = np.full(num_groups, np.inf)
+        np.minimum.at(out, group_ids, values)
+        return {spec.alias: out}
+    out = np.full(num_groups, -np.inf)
+    np.maximum.at(out, group_ids, values)
+    return {spec.alias: out}
+
+
+def merge_partials(partials: Sequence[Mapping[str, np.ndarray]], device: Device, *,
+                   group_by: Sequence[str],
+                   aggregates: Sequence[AggregateSpec]) -> OpOutput:
+    """Merge per-device partial aggregates into the final result."""
+    non_empty = [dict(partial) for partial in partials
+                 if columns_num_rows(partial)]
+    if not non_empty:
+        return hash_aggregate({}, device, group_by=group_by,
+                              aggregates=aggregates, phase="final")
+    concatenated: ArrayMap = {
+        name: np.concatenate([partial[name] for partial in non_empty])
+        for name in non_empty[0]
+    }
+    num_rows = columns_num_rows(concatenated)
+    cost = OpCost()
+    cost.add("merge", device.cost.seq_scan(
+        int(sum(values.nbytes for values in concatenated.values()))))
+
+    group_keys = _composite_keys(concatenated, group_by)
+    unique_keys, group_ids = np.unique(group_keys, return_inverse=True)
+    representative = np.zeros(len(unique_keys), dtype=np.int64)
+    representative[group_ids] = np.arange(num_rows)
+    result: ArrayMap = {
+        name: concatenated[name][representative] for name in group_by
+    }
+    for spec in aggregates:
+        if spec.func == "count":
+            result[spec.alias] = np.bincount(
+                group_ids, weights=concatenated[spec.alias],
+                minlength=len(unique_keys)).astype(np.int64)
+        elif spec.func == "sum":
+            result[spec.alias] = np.bincount(
+                group_ids, weights=concatenated[spec.alias],
+                minlength=len(unique_keys))
+        elif spec.func == "avg":
+            sums = np.bincount(group_ids,
+                               weights=concatenated[f"{spec.alias}__sum"],
+                               minlength=len(unique_keys))
+            cnts = np.bincount(group_ids,
+                               weights=concatenated[f"{spec.alias}__count"],
+                               minlength=len(unique_keys))
+            result[spec.alias] = sums / np.maximum(cnts, 1)
+        elif spec.func == "min":
+            out = np.full(len(unique_keys), np.inf)
+            np.minimum.at(out, group_ids, concatenated[spec.alias])
+            result[spec.alias] = out
+        else:  # max
+            out = np.full(len(unique_keys), -np.inf)
+            np.maximum.at(out, group_ids, concatenated[spec.alias])
+            result[spec.alias] = out
+    return OpOutput(columns=result, cost=cost)

@@ -1,0 +1,93 @@
+"""Shared infrastructure for executable operators.
+
+Operators are pure functions: they take NumPy column maps plus the
+:class:`~repro.hardware.device.Device` they are placed on, compute the real
+result, and return it together with the simulated cost they incurred.  They
+never touch device clocks themselves — the executor decides how costs map
+onto the timeline (sequential chains, parallel instances, overlapped
+transfers).  This separation keeps the operators unit-testable and lets the
+paper-scale analytic models reuse the exact same costing code.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+import numpy as np
+
+ArrayMap = dict[str, np.ndarray]
+
+
+@dataclass
+class OpCost:
+    """Simulated cost of one operator invocation, with a breakdown."""
+
+    seconds: float = 0.0
+    breakdown: dict[str, float] = field(default_factory=dict)
+
+    def add(self, label: str, seconds: float) -> "OpCost":
+        """Accumulate ``seconds`` under ``label``; returns self for chaining."""
+        if seconds < 0:
+            raise ValueError("cost contributions cannot be negative")
+        self.seconds += seconds
+        self.breakdown[label] = self.breakdown.get(label, 0.0) + seconds
+        return self
+
+    def merge(self, other: "OpCost") -> "OpCost":
+        """Fold another cost into this one."""
+        for label, seconds in other.breakdown.items():
+            self.add(label, seconds)
+        if not other.breakdown and other.seconds:
+            self.add("other", other.seconds)
+        return self
+
+    def scaled(self, factor: float) -> "OpCost":
+        """A copy with every contribution multiplied by ``factor``.
+
+        Used to model intra-device parallelism: work split perfectly over
+        ``n`` homogeneous workers is ``scaled(1 / n)``.
+        """
+        if factor < 0:
+            raise ValueError("scale factor cannot be negative")
+        scaled = OpCost()
+        for label, seconds in self.breakdown.items():
+            scaled.add(label, seconds * factor)
+        if not self.breakdown and self.seconds:
+            scaled.add("other", self.seconds * factor)
+        return scaled
+
+
+@dataclass
+class OpOutput:
+    """Result columns of an operator plus the cost of producing them."""
+
+    columns: ArrayMap
+    cost: OpCost
+
+    @property
+    def num_rows(self) -> int:
+        if not self.columns:
+            return 0
+        return int(len(next(iter(self.columns.values()))))
+
+    @property
+    def nbytes(self) -> int:
+        return int(sum(values.nbytes for values in self.columns.values()))
+
+
+def columns_nbytes(columns: Mapping[str, np.ndarray]) -> int:
+    """Total payload bytes of a column map."""
+    return int(sum(np.asarray(values).nbytes for values in columns.values()))
+
+
+def columns_num_rows(columns: Mapping[str, np.ndarray]) -> int:
+    """Row count of a column map (0 when empty)."""
+    if not columns:
+        return 0
+    return int(len(next(iter(columns.values()))))
+
+
+def empty_like(columns: Mapping[str, np.ndarray]) -> ArrayMap:
+    """A zero-row column map with the same names and dtypes."""
+    return {name: np.asarray(values)[:0] for name, values in columns.items()}

@@ -1,0 +1,122 @@
+"""Non-partitioned (hardware-oblivious) hash join.
+
+The baseline every partitioned join is compared against (Figures 6 and 9):
+build one global hash table over the build side, then probe it with every
+probe-side tuple.  Both phases perform random accesses over a table that is
+usually far larger than any cache, so they over-fetch a full cache line /
+memory sector per access and suffer TLB misses — that is precisely the
+"random accesses are the main bottleneck" argument of Section 4.1.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from ..hardware.costmodel import AccessProfile
+from ..hardware.device import Device
+from .base import ArrayMap, OpCost, OpOutput, columns_num_rows
+from .filterproject import compute_ops_per_sec
+
+#: Bytes of one hash-table entry: key, payload reference and next pointer.
+HASH_ENTRY_BYTES = 16
+
+#: Scalar ops per build/probe step in generated code (hashing + compare).
+_OPS_PER_STEP = 8.0
+
+
+def join_match_indices(build_keys: np.ndarray,
+                       probe_keys: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Positions of all matching (build, probe) pairs for an equi-join.
+
+    Vectorized with a sort + binary search; handles duplicate build keys.
+    Returns ``(build_indices, probe_indices)``.
+    """
+    build_keys = np.asarray(build_keys)
+    probe_keys = np.asarray(probe_keys)
+    order = np.argsort(build_keys, kind="stable")
+    sorted_keys = build_keys[order]
+    left = np.searchsorted(sorted_keys, probe_keys, side="left")
+    right = np.searchsorted(sorted_keys, probe_keys, side="right")
+    counts = right - left
+    probe_indices = np.repeat(np.arange(len(probe_keys)), counts)
+    if len(probe_indices) == 0:
+        return (np.asarray([], dtype=np.int64), np.asarray([], dtype=np.int64))
+    # For each probe tuple, enumerate the run of matching build positions.
+    starts = np.repeat(left, counts)
+    run_offsets = np.arange(len(probe_indices)) - np.repeat(
+        np.cumsum(counts) - counts, counts)
+    build_indices = order[starts + run_offsets]
+    return build_indices.astype(np.int64), probe_indices.astype(np.int64)
+
+
+def composite_key(columns: Mapping[str, np.ndarray],
+                  keys: Sequence[str]) -> np.ndarray:
+    """Fold multi-column join keys into one int64 key column."""
+    combined = np.zeros(columns_num_rows(columns), dtype=np.int64)
+    for name in keys:
+        combined = combined * 1_000_003 + np.asarray(columns[name], dtype=np.int64)
+    return combined
+
+
+def _materialize_join(build: Mapping[str, np.ndarray],
+                      probe: Mapping[str, np.ndarray],
+                      build_indices: np.ndarray,
+                      probe_indices: np.ndarray) -> ArrayMap:
+    """Gather the output columns of a join (probe columns win name clashes)."""
+    result: ArrayMap = {}
+    for name, values in build.items():
+        result[name] = np.asarray(values)[build_indices]
+    for name, values in probe.items():
+        result[name] = np.asarray(values)[probe_indices]
+    return result
+
+
+def non_partitioned_join(build: Mapping[str, np.ndarray],
+                         probe: Mapping[str, np.ndarray],
+                         device: Device, *,
+                         build_keys: Sequence[str],
+                         probe_keys: Sequence[str],
+                         charge_input_scan: bool = True) -> OpOutput:
+    """Hardware-oblivious hash join of two column maps on one device."""
+    build = {name: np.asarray(values) for name, values in build.items()}
+    probe = {name: np.asarray(values) for name, values in probe.items()}
+    build_rows = columns_num_rows(build)
+    probe_rows = columns_num_rows(probe)
+    cost = OpCost()
+
+    table_bytes = max(build_rows, 1) * HASH_ENTRY_BYTES
+    if charge_input_scan:
+        cost.add("scan-build", device.cost.seq_scan(
+            int(sum(v.nbytes for v in build.values()))))
+        cost.add("scan-probe", device.cost.seq_scan(
+            int(sum(v.nbytes for v in probe.values()))))
+    if build_rows:
+        cost.add("build", device.cost.hash_build(build_rows, HASH_ENTRY_BYTES))
+    if probe_rows:
+        cost.add("probe", device.cost.hash_probe(
+            probe_rows, HASH_ENTRY_BYTES, table_bytes))
+        cost.add("compute",
+                 (build_rows + probe_rows) * _OPS_PER_STEP
+                 / compute_ops_per_sec(device))
+    if device.is_gpu:
+        cost.add("kernel-launch", device.cost.kernel_launch(2))
+
+    build_composite = composite_key(build, build_keys)
+    probe_composite = composite_key(probe, probe_keys)
+    build_indices, probe_indices = join_match_indices(build_composite,
+                                                      probe_composite)
+    columns = _materialize_join(build, probe, build_indices, probe_indices)
+    output = OpOutput(columns=columns, cost=cost)
+    cost.add("materialize-output", device.cost.seq_write(output.nbytes))
+    return output
+
+
+def build_table_bytes(build_rows: int) -> int:
+    """Size of the global hash table a non-partitioned join allocates.
+
+    Exposed so that engines can check whether the table fits in GPU memory
+    before attempting GPU execution (the Q9 failure mode in Section 6.4).
+    """
+    return int(build_rows * HASH_ENTRY_BYTES)

@@ -1,0 +1,263 @@
+"""Radix partitioning and the CPU partitioned (radix) hash join.
+
+Section 4.1's central observation is that the *algorithmic skeleton* of the
+partitioned join is device-invariant — partition both inputs until the
+per-partition hash table fits in a fast memory, then build & probe inside
+that memory — while the *tuning knobs* differ per device:
+
+* on the CPU the per-pass fan-out is limited by the TLB (one output page per
+  TLB entry) and the final partitions must fit in the cache,
+* on the GPU the fan-out is limited by the scratchpad space that holds the
+  per-partition write offsets, and the final partitions must fit in the
+  scratchpad itself.
+
+``plan_partition_passes`` encodes those rules once; both the executable
+operators and the paper-scale analytic models in :mod:`repro.perf` call it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from ..hardware.costmodel import AccessProfile
+from ..hardware.device import Device
+from ..hardware.specs import DeviceKind, DeviceSpec
+from .base import ArrayMap, OpCost, OpOutput, columns_num_rows
+from .filterproject import compute_ops_per_sec
+from .hashjoin import HASH_ENTRY_BYTES, composite_key, join_match_indices
+
+#: Scalar ops per tuple of one partitioning pass (hash, offset, copy).
+_OPS_PER_PARTITION_STEP = 6.0
+
+#: Scalar ops per tuple of the in-cache build/probe phase.
+_OPS_PER_JOIN_STEP = 10.0
+
+
+@dataclass(frozen=True)
+class PartitionPlan:
+    """The pass structure of a partitioned join on one device."""
+
+    device_kind: DeviceKind
+    tuple_bytes: int
+    input_tuples: int
+    fanout_per_pass: tuple[int, ...]
+    target_partition_tuples: int
+
+    @property
+    def num_passes(self) -> int:
+        return len(self.fanout_per_pass)
+
+    @property
+    def total_fanout(self) -> int:
+        fanout = 1
+        for per_pass in self.fanout_per_pass:
+            fanout *= per_pass
+        return fanout
+
+    @property
+    def final_partition_tuples(self) -> float:
+        return self.input_tuples / max(self.total_fanout, 1)
+
+
+def max_fanout(spec: DeviceSpec) -> int:
+    """Largest per-pass fan-out the device sustains without thrashing.
+
+    CPU: one actively-written output page per TLB entry (Boncz et al.'s
+    argument, as summarized in Section 2.1).  GPU: one 4-byte write offset
+    per output partition must stay resident in the scratchpad next to the
+    staging chunk used for store consolidation.
+    """
+    if spec.kind is DeviceKind.CPU:
+        # Software write-combining buffers let one TLB entry cover a couple
+        # of actively-written output partitions, so the practical fan-out
+        # ceiling sits at ~2x the TLB entry count (Balkesen et al.).
+        return max(int(spec.tlb.entries) * 2, 2)
+    scratchpad = spec.scratchpad
+    if scratchpad is None:
+        raise ValueError("GPU spec without scratchpad cannot be tuned")
+    offsets_budget = scratchpad.capacity_bytes // 2
+    return max(int(offsets_budget // 4 // 8), 2)
+
+
+def target_partition_bytes(spec: DeviceSpec) -> int:
+    """How small the final co-partitions must be on this device.
+
+    CPU: the per-core share of the cache hierarchy that the per-partition
+    hash table should fit in.  GPU: half of the scratchpad (the other half
+    stages the probe-side chunk), which is Figure 5's SM variant.
+    """
+    if spec.kind is DeviceKind.CPU:
+        return int(spec.cache("L2").capacity_bytes)
+    scratchpad = spec.scratchpad
+    if scratchpad is None:
+        raise ValueError("GPU spec without scratchpad cannot be tuned")
+    return int(scratchpad.capacity_bytes // 2)
+
+
+def plan_partition_passes(input_tuples: int, tuple_bytes: int,
+                          spec: DeviceSpec, *,
+                          target_bytes: int | None = None) -> PartitionPlan:
+    """Choose the number of passes and per-pass fan-out for one device."""
+    if input_tuples <= 0:
+        raise ValueError("input_tuples must be positive")
+    if tuple_bytes <= 0:
+        raise ValueError("tuple_bytes must be positive")
+    target = target_bytes if target_bytes is not None else target_partition_bytes(spec)
+    target_tuples = max(int(target // (tuple_bytes * 2)), 1)
+    fanout_limit = max_fanout(spec)
+    required_fanout = max(
+        int(np.ceil(input_tuples / target_tuples)), 1
+    )
+    fanouts: list[int] = []
+    remaining = required_fanout
+    while remaining > 1:
+        step = min(fanout_limit, remaining)
+        fanouts.append(int(step))
+        remaining = int(np.ceil(remaining / step))
+    if not fanouts:
+        fanouts.append(1)
+    return PartitionPlan(
+        device_kind=spec.kind,
+        tuple_bytes=tuple_bytes,
+        input_tuples=int(input_tuples),
+        fanout_per_pass=tuple(fanouts),
+        target_partition_tuples=target_tuples,
+    )
+
+
+# ----------------------------------------------------------------------
+# Executable partitioning
+# ----------------------------------------------------------------------
+def radix_partition(columns: Mapping[str, np.ndarray], device: Device, *,
+                    key: str, fanout: int,
+                    consolidated: bool = True) -> tuple[list[ArrayMap], OpCost]:
+    """Partition one column map into ``fanout`` buckets by key radix.
+
+    Returns the partitions (list of column maps) and the cost of the pass.
+    ``consolidated`` selects the store-consolidating variant of Figure 4
+    (scratchpad staging on GPUs, software write-combining on CPUs).
+    """
+    if fanout < 1:
+        raise ValueError("fanout must be at least 1")
+    columns = {name: np.asarray(values) for name, values in columns.items()}
+    num_rows = columns_num_rows(columns)
+    cost = OpCost()
+    tuple_bytes = max(
+        int(sum(values.dtype.itemsize for values in columns.values())), 1)
+    cost.add("partition-pass", device.cost.partition_pass(
+        num_rows, tuple_bytes, fanout, consolidated=consolidated))
+    cost.add("compute", num_rows * _OPS_PER_PARTITION_STEP
+             / compute_ops_per_sec(device))
+    if device.is_gpu:
+        cost.add("atomics", device.cost.atomic_ops(max(num_rows // 8, fanout)))
+        cost.add("kernel-launch", device.cost.kernel_launch())
+
+    if num_rows == 0:
+        return [dict(columns) for _ in range(fanout)], cost
+    keys = np.asarray(columns[key], dtype=np.int64)
+    bucket = (keys % fanout + fanout) % fanout
+    order = np.argsort(bucket, kind="stable")
+    boundaries = np.searchsorted(bucket[order], np.arange(fanout + 1))
+    partitions: list[ArrayMap] = []
+    for index in range(fanout):
+        selection = order[boundaries[index]:boundaries[index + 1]]
+        partitions.append({name: values[selection]
+                           for name, values in columns.items()})
+    return partitions, cost
+
+
+def partition_by_plan(columns: Mapping[str, np.ndarray], device: Device, *,
+                      key: str, plan: PartitionPlan,
+                      consolidated: bool = True) -> tuple[list[ArrayMap], OpCost]:
+    """Apply every pass of a :class:`PartitionPlan`, recursively."""
+    cost = OpCost()
+    current = [dict(columns)]
+    for fanout in plan.fanout_per_pass:
+        next_level: list[ArrayMap] = []
+        for chunk in current:
+            partitions, pass_cost = radix_partition(
+                chunk, device, key=key, fanout=fanout,
+                consolidated=consolidated)
+            cost.merge(pass_cost)
+            next_level.extend(partitions)
+        current = next_level
+    return current, cost
+
+
+# ----------------------------------------------------------------------
+# CPU radix join
+# ----------------------------------------------------------------------
+def cpu_radix_join(build: Mapping[str, np.ndarray],
+                   probe: Mapping[str, np.ndarray],
+                   device: Device, *,
+                   build_keys: Sequence[str],
+                   probe_keys: Sequence[str]) -> OpOutput:
+    """The cache/TLB-conscious CPU partitioned hash join."""
+    if not device.is_cpu:
+        raise ValueError("cpu_radix_join must be placed on a CPU device")
+    build = {name: np.asarray(values) for name, values in build.items()}
+    probe = {name: np.asarray(values) for name, values in probe.items()}
+    build = dict(build, __key=composite_key(build, build_keys))
+    probe = dict(probe, __key=composite_key(probe, probe_keys))
+    build_rows = columns_num_rows(build)
+    probe_rows = columns_num_rows(probe)
+    cost = OpCost()
+
+    tuple_bytes = HASH_ENTRY_BYTES
+    plan = plan_partition_passes(max(build_rows, 1), tuple_bytes, device.spec)
+    build_parts, build_cost = partition_by_plan(build, device, key="__key",
+                                                plan=plan)
+    cost.merge(build_cost)
+    probe_plan = PartitionPlan(
+        device_kind=plan.device_kind, tuple_bytes=tuple_bytes,
+        input_tuples=max(probe_rows, 1),
+        fanout_per_pass=plan.fanout_per_pass,
+        target_partition_tuples=plan.target_partition_tuples)
+    probe_parts, probe_cost = partition_by_plan(probe, device, key="__key",
+                                                plan=probe_plan)
+    cost.merge(probe_cost)
+
+    # Build & probe each co-partition inside the cache.
+    cache_bytes = target_partition_bytes(device.spec)
+    outputs: list[ArrayMap] = []
+    total_matches = 0
+    for build_part, probe_part in zip(build_parts, probe_parts):
+        part_rows = columns_num_rows(build_part)
+        probe_part_rows = columns_num_rows(probe_part)
+        if part_rows == 0 or probe_part_rows == 0:
+            continue
+        build_indices, probe_indices = join_match_indices(
+            build_part["__key"], probe_part["__key"])
+        total_matches += len(build_indices)
+        merged: ArrayMap = {}
+        for name, values in build_part.items():
+            if name != "__key":
+                merged[name] = values[build_indices]
+        for name, values in probe_part.items():
+            if name != "__key":
+                merged[name] = values[probe_indices]
+        outputs.append(merged)
+    table_target = "L2" if tuple_bytes * plan.final_partition_tuples <= cache_bytes else "L3"
+    cost.add("build", device.cost.hash_build(build_rows, HASH_ENTRY_BYTES,
+                                             target=table_target))
+    cost.add("probe", device.cost.hash_probe(
+        probe_rows, HASH_ENTRY_BYTES,
+        int(plan.final_partition_tuples * HASH_ENTRY_BYTES),
+        target=table_target))
+    cost.add("compute", (build_rows + probe_rows) * _OPS_PER_JOIN_STEP
+             / compute_ops_per_sec(device))
+
+    if outputs:
+        columns = {name: np.concatenate([part[name] for part in outputs])
+                   for name in outputs[0]}
+    else:
+        columns = {name: np.asarray(values)[:0]
+                   for name, values in build.items() if name != "__key"}
+        columns.update({name: np.asarray(values)[:0]
+                        for name, values in probe.items() if name != "__key"})
+    output = OpOutput(columns=columns, cost=cost)
+    cost.add("materialize-output", device.cost.seq_write(output.nbytes))
+    return output

@@ -1,0 +1,34 @@
+"""Paper-scale analytic performance models for every evaluation figure."""
+
+from .join_models import (
+    FIGURE5_PARTITION_SIZES,
+    FIGURE5_TUPLES,
+    FIGURE6_SIZES_MTUPLES,
+    FIGURE7_SIZES_MTUPLES,
+    JoinModels,
+    JoinPoint,
+)
+from .report import HeadlineClaim, format_headline_claims, format_series, headline_claims
+from .tpch_models import (
+    FIGURE8_SYSTEMS,
+    PAPER_SCALE_FACTOR,
+    QueryEstimate,
+    TPCHModels,
+)
+
+__all__ = [
+    "FIGURE5_PARTITION_SIZES",
+    "FIGURE5_TUPLES",
+    "FIGURE6_SIZES_MTUPLES",
+    "FIGURE7_SIZES_MTUPLES",
+    "FIGURE8_SYSTEMS",
+    "HeadlineClaim",
+    "JoinModels",
+    "JoinPoint",
+    "PAPER_SCALE_FACTOR",
+    "QueryEstimate",
+    "TPCHModels",
+    "format_headline_claims",
+    "format_series",
+    "headline_claims",
+]

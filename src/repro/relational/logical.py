@@ -1,0 +1,174 @@
+"""Logical query plans.
+
+A logical plan is a device-agnostic tree of relational operators.  The
+heterogeneity-aware optimizer (:mod:`repro.engine.optimizer`) turns it into
+a physical DAG annotated with traits and HetExchange operators.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Sequence
+
+from ..errors import PlanError
+from .expr import AggregateSpec, Expr
+
+
+class LogicalPlan:
+    """Base class of all logical operators."""
+
+    def children(self) -> tuple["LogicalPlan", ...]:
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        """One-line description used when pretty-printing plans."""
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    def walk(self) -> Iterator["LogicalPlan"]:
+        """Post-order traversal of the plan tree."""
+        for child in self.children():
+            yield from child.walk()
+        yield self
+
+    def pretty(self, indent: int = 0) -> str:
+        """Multi-line, indented rendering of the plan tree."""
+        lines = [" " * indent + self.describe()]
+        for child in self.children():
+            lines.append(child.pretty(indent + 2))
+        return "\n".join(lines)
+
+    def referenced_tables(self) -> set[str]:
+        """Names of all base tables the plan scans."""
+        return {node.table for node in self.walk() if isinstance(node, Scan)}
+
+    # Fluent builders ----------------------------------------------------
+    def filter(self, predicate: Expr) -> "Filter":
+        return Filter(self, predicate)
+
+    def project(self, projections: dict[str, Expr]) -> "Project":
+        return Project(self, projections)
+
+    def join(self, other: "LogicalPlan", left_keys: Sequence[str],
+             right_keys: Sequence[str]) -> "Join":
+        return Join(self, other, tuple(left_keys), tuple(right_keys))
+
+    def aggregate(self, group_by: Sequence[str],
+                  aggregates: Sequence[AggregateSpec]) -> "Aggregate":
+        return Aggregate(self, tuple(group_by), tuple(aggregates))
+
+    def order_by(self, keys: Sequence[str]) -> "OrderBy":
+        return OrderBy(self, tuple(keys))
+
+
+@dataclass(frozen=True)
+class Scan(LogicalPlan):
+    """Scan a base table, optionally projecting a subset of columns."""
+
+    table: str
+    columns: tuple[str, ...] | None = None
+
+    def children(self) -> tuple[LogicalPlan, ...]:
+        return ()
+
+    def describe(self) -> str:
+        cols = ", ".join(self.columns) if self.columns else "*"
+        return f"Scan({self.table} [{cols}])"
+
+
+@dataclass(frozen=True)
+class Filter(LogicalPlan):
+    """Keep rows satisfying a boolean predicate."""
+
+    child: LogicalPlan
+    predicate: Expr
+
+    def children(self) -> tuple[LogicalPlan, ...]:
+        return (self.child,)
+
+    def describe(self) -> str:
+        return f"Filter({self.predicate!r})"
+
+
+@dataclass(frozen=True)
+class Project(LogicalPlan):
+    """Compute named output expressions."""
+
+    child: LogicalPlan
+    projections: dict[str, Expr]
+
+    def __post_init__(self) -> None:
+        if not self.projections:
+            raise PlanError("a projection needs at least one output expression")
+
+    def children(self) -> tuple[LogicalPlan, ...]:
+        return (self.child,)
+
+    def describe(self) -> str:
+        return f"Project({', '.join(self.projections)})"
+
+
+@dataclass(frozen=True)
+class Join(LogicalPlan):
+    """Inner equi-join between two sub-plans."""
+
+    left: LogicalPlan
+    right: LogicalPlan
+    left_keys: tuple[str, ...]
+    right_keys: tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if not self.left_keys or len(self.left_keys) != len(self.right_keys):
+            raise PlanError("joins need matching, non-empty key lists")
+
+    def children(self) -> tuple[LogicalPlan, ...]:
+        return (self.left, self.right)
+
+    def describe(self) -> str:
+        pairs = ", ".join(
+            f"{l}={r}" for l, r in zip(self.left_keys, self.right_keys)
+        )
+        return f"Join({pairs})"
+
+
+@dataclass(frozen=True)
+class Aggregate(LogicalPlan):
+    """Group-by aggregation (grand aggregate when ``group_by`` is empty)."""
+
+    child: LogicalPlan
+    group_by: tuple[str, ...]
+    aggregates: tuple[AggregateSpec, ...]
+
+    def __post_init__(self) -> None:
+        if not self.aggregates:
+            raise PlanError("an aggregation needs at least one aggregate")
+        aliases = [spec.alias for spec in self.aggregates]
+        if len(set(aliases)) != len(aliases):
+            raise PlanError("aggregate aliases must be unique")
+
+    def children(self) -> tuple[LogicalPlan, ...]:
+        return (self.child,)
+
+    def describe(self) -> str:
+        keys = ", ".join(self.group_by) or "()"
+        aggs = ", ".join(f"{spec.func}->{spec.alias}" for spec in self.aggregates)
+        return f"Aggregate(by [{keys}]: {aggs})"
+
+
+@dataclass(frozen=True)
+class OrderBy(LogicalPlan):
+    """Order the result by the listed columns (ascending)."""
+
+    child: LogicalPlan
+    keys: tuple[str, ...]
+
+    def children(self) -> tuple[LogicalPlan, ...]:
+        return (self.child,)
+
+    def describe(self) -> str:
+        return f"OrderBy({', '.join(self.keys)})"
+
+
+def scan(table: str, columns: Sequence[str] | None = None) -> Scan:
+    """Entry point of the fluent plan-building API."""
+    return Scan(table, tuple(columns) if columns is not None else None)

@@ -1,0 +1,301 @@
+"""Physical plans: trait-annotated DAGs of device-aware operators.
+
+The heterogeneity-aware optimizer produces these plans.  Relational
+operators (scan, filter/project, join, aggregate) are heterogeneity
+*oblivious* — they only know the device type they were generated for — while
+the four HetExchange meta-operators (router, device-crossing, mem-move,
+pack/unpack) plus the co-processing helpers (zip, split) encapsulate all
+inter-device concerns, exactly as Sections 3-5 of the paper prescribe.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Iterator, Sequence
+
+from ..errors import PlanError
+from ..hardware.specs import DeviceKind
+from .expr import AggregateSpec, Expr
+from .traits import Packing, Traits
+
+_node_ids = itertools.count()
+
+
+class JoinAlgorithm(enum.Enum):
+    """Join algorithm choices the optimizer can make per device."""
+
+    NON_PARTITIONED = "non-partitioned"
+    RADIX_CPU = "radix-cpu"
+    RADIX_GPU = "radix-gpu"
+    COPROCESSED_RADIX = "coprocessed-radix"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+class RoutingPolicy(enum.Enum):
+    """Router policies supported by the HetExchange router (Section 4.2)."""
+
+    LOAD_AWARE = "load-aware"
+    LOCALITY_AWARE = "locality-aware"
+    HASH = "hash"
+    ROUND_ROBIN = "round-robin"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+@dataclass(eq=False)
+class PhysicalOp:
+    """Base class of physical operators."""
+
+    traits: Traits
+    node_id: int = field(default_factory=lambda: next(_node_ids), init=False)
+
+    def children(self) -> tuple["PhysicalOp", ...]:
+        return ()
+
+    def describe(self) -> str:
+        return type(self).__name__
+
+    def walk(self) -> Iterator["PhysicalOp"]:
+        for child in self.children():
+            yield from child.walk()
+        yield self
+
+    def pretty(self, indent: int = 0) -> str:
+        lines = [" " * indent + f"{self.describe()}  [{self.traits.describe()}]"]
+        for child in self.children():
+            lines.append(child.pretty(indent + 2))
+        return "\n".join(lines)
+
+    def is_exchange(self) -> bool:
+        """True for HetExchange meta-operators (trait converters)."""
+        return isinstance(self, (Router, DeviceCrossing, MemMove, Pack, Unpack))
+
+
+# ----------------------------------------------------------------------
+# Relational (heterogeneity-oblivious, hardware-conscious) operators
+# ----------------------------------------------------------------------
+@dataclass(eq=False)
+class PScan(PhysicalOp):
+    """Scan a base table into packets."""
+
+    table: str = ""
+    columns: tuple[str, ...] | None = None
+
+    def describe(self) -> str:
+        cols = ", ".join(self.columns) if self.columns else "*"
+        return f"Scan({self.table} [{cols}])"
+
+
+@dataclass(eq=False)
+class PFilterProject(PhysicalOp):
+    """A fused filter + projection (a pipeline-friendly operator)."""
+
+    child: PhysicalOp | None = None
+    predicate: Expr | None = None
+    projections: dict[str, Expr] | None = None
+
+    def children(self) -> tuple[PhysicalOp, ...]:
+        return (self.child,) if self.child is not None else ()
+
+    def describe(self) -> str:
+        parts = []
+        if self.predicate is not None:
+            parts.append(f"filter={self.predicate!r}")
+        if self.projections:
+            parts.append(f"project=[{', '.join(self.projections)}]")
+        return f"FilterProject({'; '.join(parts)})"
+
+
+@dataclass(eq=False)
+class PJoin(PhysicalOp):
+    """Equi-join; ``algorithm`` selects the per-device implementation."""
+
+    build: PhysicalOp | None = None
+    probe: PhysicalOp | None = None
+    build_keys: tuple[str, ...] = ()
+    probe_keys: tuple[str, ...] = ()
+    algorithm: JoinAlgorithm = JoinAlgorithm.NON_PARTITIONED
+
+    def __post_init__(self) -> None:
+        if len(self.build_keys) != len(self.probe_keys):
+            raise PlanError("join build/probe key lists must have equal length")
+
+    def children(self) -> tuple[PhysicalOp, ...]:
+        children = []
+        if self.build is not None:
+            children.append(self.build)
+        if self.probe is not None:
+            children.append(self.probe)
+        return tuple(children)
+
+    def describe(self) -> str:
+        pairs = ", ".join(
+            f"{b}={p}" for b, p in zip(self.build_keys, self.probe_keys)
+        )
+        return f"Join[{self.algorithm.value}]({pairs})"
+
+
+@dataclass(eq=False)
+class PAggregate(PhysicalOp):
+    """Hash aggregation; ``phase`` distinguishes partial from final."""
+
+    child: PhysicalOp | None = None
+    group_by: tuple[str, ...] = ()
+    aggregates: tuple[AggregateSpec, ...] = ()
+    phase: str = "complete"  # "partial" | "final" | "complete"
+
+    def children(self) -> tuple[PhysicalOp, ...]:
+        return (self.child,) if self.child is not None else ()
+
+    def describe(self) -> str:
+        keys = ", ".join(self.group_by) or "()"
+        return f"Aggregate[{self.phase}](by [{keys}])"
+
+
+@dataclass(eq=False)
+class PSort(PhysicalOp):
+    """Order the (small) final result."""
+
+    child: PhysicalOp | None = None
+    keys: tuple[str, ...] = ()
+
+    def children(self) -> tuple[PhysicalOp, ...]:
+        return (self.child,) if self.child is not None else ()
+
+    def describe(self) -> str:
+        return f"Sort({', '.join(self.keys)})"
+
+
+# ----------------------------------------------------------------------
+# HetExchange meta-operators (trait converters)
+# ----------------------------------------------------------------------
+@dataclass(eq=False)
+class Router(PhysicalOp):
+    """Parallelism trait converter: routes packets to consumer instances."""
+
+    child: PhysicalOp | None = None
+    policy: RoutingPolicy = RoutingPolicy.LOAD_AWARE
+    consumers: tuple[str, ...] = ()
+
+    def children(self) -> tuple[PhysicalOp, ...]:
+        return (self.child,) if self.child is not None else ()
+
+    def describe(self) -> str:
+        return f"Router[{self.policy.value}] -> {list(self.consumers)}"
+
+
+@dataclass(eq=False)
+class DeviceCrossing(PhysicalOp):
+    """Device trait converter: transfers execution to another device type."""
+
+    child: PhysicalOp | None = None
+    target_kind: DeviceKind = DeviceKind.GPU
+
+    def children(self) -> tuple[PhysicalOp, ...]:
+        return (self.child,) if self.child is not None else ()
+
+    def describe(self) -> str:
+        return f"DeviceCrossing(-> {self.target_kind.value})"
+
+
+@dataclass(eq=False)
+class MemMove(PhysicalOp):
+    """Locality trait converter: moves/broadcasts packets between memories."""
+
+    child: PhysicalOp | None = None
+    destination: str = "gpu0"
+    broadcast: bool = False
+
+    def children(self) -> tuple[PhysicalOp, ...]:
+        return (self.child,) if self.child is not None else ()
+
+    def describe(self) -> str:
+        mode = "broadcast" if self.broadcast else "move"
+        return f"MemMove[{mode}](-> {self.destination})"
+
+
+@dataclass(eq=False)
+class Pack(PhysicalOp):
+    """Packing trait converter: tuples -> packets with shared properties."""
+
+    child: PhysicalOp | None = None
+    properties: tuple[str, ...] = ()
+
+    def children(self) -> tuple[PhysicalOp, ...]:
+        return (self.child,) if self.child is not None else ()
+
+    def describe(self) -> str:
+        return f"Pack({', '.join(self.properties) or '-'})"
+
+
+@dataclass(eq=False)
+class Unpack(PhysicalOp):
+    """Packing trait converter: packets -> tuples."""
+
+    child: PhysicalOp | None = None
+
+    def children(self) -> tuple[PhysicalOp, ...]:
+        return (self.child,) if self.child is not None else ()
+
+    def describe(self) -> str:
+        return "Unpack()"
+
+
+# ----------------------------------------------------------------------
+# Co-processing helpers (Section 5, intra-operator co-processing)
+# ----------------------------------------------------------------------
+@dataclass(eq=False)
+class CpuPartition(PhysicalOp):
+    """CPU-side low-fan-out partitioning of one join input."""
+
+    child: PhysicalOp | None = None
+    key: str = "key"
+    fanout: int = 2
+
+    def children(self) -> tuple[PhysicalOp, ...]:
+        return (self.child,) if self.child is not None else ()
+
+    def describe(self) -> str:
+        return f"CpuPartition(key={self.key}, fanout={self.fanout})"
+
+
+@dataclass(eq=False)
+class Zip(PhysicalOp):
+    """Matches corresponding partitions of two inputs into co-partitions."""
+
+    left: PhysicalOp | None = None
+    right: PhysicalOp | None = None
+
+    def children(self) -> tuple[PhysicalOp, ...]:
+        children = [c for c in (self.left, self.right) if c is not None]
+        return tuple(children)
+
+    def describe(self) -> str:
+        return "Zip()"
+
+
+@dataclass(eq=False)
+class Split(PhysicalOp):
+    """Drives the two sides of a co-partition to separate operator chains."""
+
+    child: PhysicalOp | None = None
+    ways: int = 2
+
+    def children(self) -> tuple[PhysicalOp, ...]:
+        return (self.child,) if self.child is not None else ()
+
+    def describe(self) -> str:
+        return f"Split(ways={self.ways})"
+
+
+def count_operators(root: PhysicalOp) -> dict[str, int]:
+    """Histogram of operator class names in a plan (used by tests/examples)."""
+    histogram: dict[str, int] = {}
+    for node in root.walk():
+        histogram[type(node).__name__] = histogram.get(type(node).__name__, 0) + 1
+    return histogram

@@ -1,0 +1,74 @@
+"""Columnar storage substrate: columns, tables, catalog, packets, data gen."""
+
+from .block import Block, blocks_from_table, concat_blocks
+from .catalog import Catalog, TableStats
+from .column import Column
+from .datagen import (
+    JoinWorkload,
+    MICROBENCH_TUPLE_BYTES,
+    make_join_pair,
+    make_join_relation,
+    make_partial_match_pair,
+    make_skewed_relation,
+)
+from .dtypes import (
+    BOOL,
+    DATE,
+    DICT32,
+    DataType,
+    Dictionary,
+    FLOAT32,
+    FLOAT64,
+    INT32,
+    INT64,
+    date_to_int,
+    dtype_from_name,
+    int_to_date,
+    year_of,
+)
+from .table import Table
+from .tpch import (
+    BASE_CARDINALITIES,
+    NATIONS,
+    REGIONS,
+    TPCHDataset,
+    generate_tpch,
+    tpch_cardinalities,
+    working_set_bytes,
+)
+
+__all__ = [
+    "BASE_CARDINALITIES",
+    "BOOL",
+    "Block",
+    "Catalog",
+    "Column",
+    "DATE",
+    "DICT32",
+    "DataType",
+    "Dictionary",
+    "FLOAT32",
+    "FLOAT64",
+    "INT32",
+    "INT64",
+    "JoinWorkload",
+    "MICROBENCH_TUPLE_BYTES",
+    "NATIONS",
+    "REGIONS",
+    "TPCHDataset",
+    "Table",
+    "TableStats",
+    "blocks_from_table",
+    "concat_blocks",
+    "date_to_int",
+    "dtype_from_name",
+    "generate_tpch",
+    "int_to_date",
+    "make_join_pair",
+    "make_join_relation",
+    "make_partial_match_pair",
+    "make_skewed_relation",
+    "tpch_cardinalities",
+    "working_set_bytes",
+    "year_of",
+]

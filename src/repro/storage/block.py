@@ -1,0 +1,126 @@
+"""Data blocks ("packets") exchanged between operators and devices.
+
+Section 3 of the paper introduces the *data packing* trait: control-flow and
+data-flow operations are amortized by operating on packets of tuples, and a
+packet carries the properties that are common to all of its tuples (for
+example the radix partition it belongs to) so that routers can take
+decisions from metadata alone, without touching the payload.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Mapping
+
+import numpy as np
+
+from ..errors import SchemaError
+from .table import Table
+
+
+@dataclass
+class Block:
+    """A packet: a horizontal chunk of columns plus routing metadata."""
+
+    columns: dict[str, np.ndarray]
+    location: str
+    partition: int | None = None
+    radix_bits: int | None = None
+    properties: dict[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.columns:
+            raise SchemaError("a block needs at least one column")
+        lengths = {len(values) for values in self.columns.values()}
+        if len(lengths) != 1:
+            raise SchemaError(f"block columns have different lengths: {lengths}")
+
+    # ------------------------------------------------------------------
+    @property
+    def num_rows(self) -> int:
+        return len(next(iter(self.columns.values())))
+
+    @property
+    def nbytes(self) -> int:
+        return int(sum(values.nbytes for values in self.columns.values()))
+
+    @property
+    def column_names(self) -> tuple[str, ...]:
+        return tuple(self.columns.keys())
+
+    def __len__(self) -> int:
+        return self.num_rows
+
+    def array(self, name: str) -> np.ndarray:
+        try:
+            return self.columns[name]
+        except KeyError as exc:
+            raise SchemaError(
+                f"block has no column {name!r}; available: {list(self.columns)}"
+            ) from exc
+
+    # ------------------------------------------------------------------
+    def with_location(self, location: str) -> "Block":
+        """The same packet recorded as resident on another memory node."""
+        return Block(
+            columns=dict(self.columns),
+            location=location,
+            partition=self.partition,
+            radix_bits=self.radix_bits,
+            properties=dict(self.properties),
+        )
+
+    def select(self, names: list[str]) -> "Block":
+        return Block(
+            columns={name: self.array(name) for name in names},
+            location=self.location,
+            partition=self.partition,
+            radix_bits=self.radix_bits,
+            properties=dict(self.properties),
+        )
+
+    @classmethod
+    def from_table(cls, table: Table, *, location: str | None = None) -> "Block":
+        return cls(columns=table.arrays(), location=location or table.location)
+
+    def to_table(self, name: str = "block") -> Table:
+        return Table.from_arrays(name, self.columns, location=self.location)
+
+
+def blocks_from_table(table: Table, block_rows: int, *,
+                      location: str | None = None) -> Iterator[Block]:
+    """Carve a table into packets of at most ``block_rows`` rows.
+
+    This is the morsel generation step: scans hand these packets to the
+    router, which distributes them over the devices participating in the
+    pipeline.
+    """
+    if block_rows <= 0:
+        raise ValueError("block_rows must be positive")
+    arrays = table.arrays()
+    total = table.num_rows
+    where = location or table.location
+    for start in range(0, total, block_rows):
+        stop = min(start + block_rows, total)
+        yield Block(
+            columns={name: values[start:stop] for name, values in arrays.items()},
+            location=where,
+        )
+    if total == 0:
+        yield Block(columns={name: values[:0] for name, values in arrays.items()},
+                    location=where)
+
+
+def concat_blocks(blocks: list[Block], *, location: str | None = None) -> Block:
+    """Concatenate packets (used by materializing sinks)."""
+    if not blocks:
+        raise ValueError("cannot concatenate zero blocks")
+    names = blocks[0].column_names
+    for block in blocks:
+        if block.column_names != names:
+            raise SchemaError("blocks have mismatching column sets")
+    merged = {
+        name: np.concatenate([block.array(name) for block in blocks])
+        for name in names
+    }
+    return Block(columns=merged, location=location or blocks[0].location)

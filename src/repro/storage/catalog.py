@@ -1,0 +1,92 @@
+"""A minimal catalog mapping table names to tables and their statistics."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import CatalogError
+from .table import Table
+
+
+@dataclass(frozen=True)
+class TableStats:
+    """Basic statistics the optimizer and the cost model consume."""
+
+    num_rows: int
+    nbytes: int
+    distinct_counts: dict[str, int]
+
+    def distinct(self, column: str) -> int:
+        """Distinct count for a column (falls back to row count)."""
+        return self.distinct_counts.get(column, self.num_rows)
+
+
+class Catalog:
+    """Registry of the tables known to an engine instance."""
+
+    def __init__(self) -> None:
+        self._tables: dict[str, Table] = {}
+        self._stats: dict[str, TableStats] = {}
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._tables
+
+    def __len__(self) -> int:
+        return len(self._tables)
+
+    @property
+    def table_names(self) -> tuple[str, ...]:
+        return tuple(self._tables.keys())
+
+    def register(self, table: Table, *, replace: bool = False) -> None:
+        """Add a table; refuses to silently overwrite unless ``replace``."""
+        if table.name in self._tables and not replace:
+            raise CatalogError(f"table {table.name!r} is already registered")
+        self._tables[table.name] = table
+        self._stats[table.name] = _compute_stats(table)
+
+    def table(self, name: str) -> Table:
+        try:
+            return self._tables[name]
+        except KeyError as exc:
+            raise CatalogError(
+                f"unknown table {name!r}; registered: {list(self._tables)}"
+            ) from exc
+
+    def stats(self, name: str) -> TableStats:
+        self.table(name)
+        return self._stats[name]
+
+    def drop(self, name: str) -> None:
+        if name not in self._tables:
+            raise CatalogError(f"unknown table {name!r}")
+        del self._tables[name]
+        del self._stats[name]
+
+    def total_bytes(self) -> int:
+        """Aggregate footprint of every registered table."""
+        return sum(table.nbytes for table in self._tables.values())
+
+
+def _compute_stats(table: Table) -> TableStats:
+    distinct: dict[str, int] = {}
+    for column in table.columns:
+        # Sampling keeps catalog registration cheap for big tables while
+        # remaining accurate enough for join-side selection.
+        values = column.values
+        if len(values) > 200_000:
+            rng = np.random.default_rng(0)
+            values = rng.choice(values, size=100_000, replace=False)
+            scale = table.num_rows / 100_000
+            distinct[column.name] = min(
+                table.num_rows, int(len(np.unique(values)) * scale)
+            )
+        else:
+            distinct[column.name] = int(len(np.unique(values)))
+    return TableStats(
+        num_rows=table.num_rows,
+        nbytes=table.nbytes,
+        distinct_counts=distinct,
+    )

@@ -1,0 +1,115 @@
+"""Synthetic data generators for the join microbenchmarks.
+
+Section 6.2 of the paper uses two equally-sized tables, each with two 4-byte
+columns (a key and a payload); both tables contain exactly the same set of
+keys, so an equi-join over the keys produces exactly one output tuple per
+input tuple.  ``make_join_pair`` reproduces that workload; the helpers below
+also generate skewed and partially-matching variants used by the extended
+tests and ablation benchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .table import Table
+
+#: Bytes per microbenchmark tuple (4-byte key + 4-byte payload).
+MICROBENCH_TUPLE_BYTES = 8
+
+
+@dataclass(frozen=True)
+class JoinWorkload:
+    """Description of one join microbenchmark instance."""
+
+    build: Table
+    probe: Table
+    expected_matches: int
+
+    @property
+    def tuples_per_side(self) -> int:
+        return self.build.num_rows
+
+
+def make_join_relation(num_rows: int, *, key_space: int | None = None,
+                       shuffle: bool = True, seed: int = 42,
+                       name: str = "relation", location: str = "cpu0") -> Table:
+    """A two-column (key, payload) relation with ``num_rows`` rows.
+
+    Keys are drawn without replacement from ``range(key_space)`` (defaults
+    to a dense ``0..num_rows-1`` key domain, matching the paper's setup).
+    """
+    if num_rows <= 0:
+        raise ValueError("num_rows must be positive")
+    key_space = key_space if key_space is not None else num_rows
+    if key_space < num_rows:
+        raise ValueError("key_space must be at least num_rows for unique keys")
+    rng = np.random.default_rng(seed)
+    if key_space == num_rows:
+        keys = np.arange(num_rows, dtype=np.int32)
+    else:
+        keys = rng.choice(key_space, size=num_rows, replace=False).astype(np.int32)
+    if shuffle:
+        rng.shuffle(keys)
+    payload = rng.integers(0, 1 << 30, size=num_rows, dtype=np.int32)
+    return Table.from_arrays(name, {"key": keys, "payload": payload},
+                             location=location)
+
+
+def make_join_pair(num_rows: int, *, seed: int = 42,
+                   location: str = "cpu0") -> JoinWorkload:
+    """The paper's microbenchmark: two same-sized tables with identical keys."""
+    build = make_join_relation(num_rows, seed=seed, name="build",
+                               location=location)
+    probe = make_join_relation(num_rows, seed=seed + 1, name="probe",
+                               location=location)
+    return JoinWorkload(build=build, probe=probe, expected_matches=num_rows)
+
+
+def make_partial_match_pair(build_rows: int, probe_rows: int, *,
+                            match_fraction: float = 0.5, seed: int = 7,
+                            location: str = "cpu0") -> JoinWorkload:
+    """A join whose probe side only partially matches the build side."""
+    if not 0.0 <= match_fraction <= 1.0:
+        raise ValueError("match_fraction must be within [0, 1]")
+    rng = np.random.default_rng(seed)
+    build_keys = np.arange(build_rows, dtype=np.int32)
+    matching = int(round(probe_rows * match_fraction))
+    probe_match = rng.integers(0, build_rows, size=matching, dtype=np.int32)
+    probe_miss = rng.integers(build_rows, 2 * build_rows + 1,
+                              size=probe_rows - matching, dtype=np.int32)
+    probe_keys = np.concatenate([probe_match, probe_miss]).astype(np.int32)
+    rng.shuffle(probe_keys)
+    build = Table.from_arrays(
+        "build",
+        {"key": build_keys,
+         "payload": rng.integers(0, 1 << 30, size=build_rows, dtype=np.int32)},
+        location=location,
+    )
+    probe = Table.from_arrays(
+        "probe",
+        {"key": probe_keys,
+         "payload": rng.integers(0, 1 << 30, size=probe_rows, dtype=np.int32)},
+        location=location,
+    )
+    return JoinWorkload(build=build, probe=probe, expected_matches=matching)
+
+
+def make_skewed_relation(num_rows: int, *, zipf_s: float = 1.2,
+                         key_space: int = 1 << 16, seed: int = 11,
+                         name: str = "skewed", location: str = "cpu0") -> Table:
+    """A relation with Zipf-distributed (skewed) keys.
+
+    Used by tests and ablation benches to exercise the over-sized partition
+    handling the paper mentions (a single over-popular key can overflow a
+    co-partition).
+    """
+    if zipf_s <= 1.0:
+        raise ValueError("zipf_s must be greater than 1.0")
+    rng = np.random.default_rng(seed)
+    keys = (rng.zipf(zipf_s, size=num_rows) % key_space).astype(np.int32)
+    payload = rng.integers(0, 1 << 30, size=num_rows, dtype=np.int32)
+    return Table.from_arrays(name, {"key": keys, "payload": payload},
+                             location=location)

@@ -1,0 +1,35 @@
+"""Evaluation workloads: join microbenchmarks and TPC-H queries."""
+
+from .microbench import (
+    FIGURE6_VARIANTS,
+    JoinRun,
+    run_all_variants,
+    run_coprocessed_join,
+    run_join_variant,
+)
+from .tpch_queries import (
+    EVALUATED_QUERIES,
+    TPCHQuery,
+    all_queries,
+    build_query,
+    tpch_q1,
+    tpch_q5,
+    tpch_q6,
+    tpch_q9,
+)
+
+__all__ = [
+    "EVALUATED_QUERIES",
+    "FIGURE6_VARIANTS",
+    "JoinRun",
+    "TPCHQuery",
+    "all_queries",
+    "build_query",
+    "run_all_variants",
+    "run_coprocessed_join",
+    "run_join_variant",
+    "tpch_q1",
+    "tpch_q5",
+    "tpch_q6",
+    "tpch_q9",
+]

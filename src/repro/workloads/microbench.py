@@ -1,0 +1,102 @@
+"""Join microbenchmark workloads (Sections 6.2 and 6.3).
+
+Helpers that run each join implementation of the library on the paper's
+microbenchmark (two equal-size key/payload tables with identical key sets)
+and report both the functional result size and the simulated time.  The
+benchmark harnesses use these for the reduced-scale cross-validation runs;
+the paper-scale sweeps use :mod:`repro.perf`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..hardware.topology import Topology, default_server
+from ..operators.coprocess import coprocessed_radix_join
+from ..operators.gpujoin import GpuJoinConfig, gpu_partitioned_join
+from ..operators.hashjoin import non_partitioned_join
+from ..operators.radix import cpu_radix_join
+from ..storage.datagen import JoinWorkload, make_join_pair
+
+#: Join variants of Figure 6, keyed by the label used in the figure.
+FIGURE6_VARIANTS = (
+    "Partitioned CPU",
+    "Partitioned GPU",
+    "Non-partitioned CPU",
+    "Non-partitioned GPU",
+)
+
+
+@dataclass(frozen=True)
+class JoinRun:
+    """Outcome of one microbenchmark join execution."""
+
+    variant: str
+    tuples_per_side: int
+    output_rows: int
+    simulated_seconds: float
+
+    @property
+    def throughput_mtuples_s(self) -> float:
+        if self.simulated_seconds <= 0:
+            return float("inf")
+        return self.tuples_per_side / self.simulated_seconds / 1e6
+
+
+def run_join_variant(variant: str, workload: JoinWorkload,
+                     topology: Topology | None = None) -> JoinRun:
+    """Execute one Figure-6 join variant on a workload."""
+    topology = topology if topology is not None else default_server()
+    cpu = topology.cpus()[0]
+    gpu = topology.gpus()[0] if topology.gpus() else None
+    build = workload.build.arrays()
+    probe = workload.probe.arrays()
+    keys = dict(build_keys=["key"], probe_keys=["key"])
+    if variant == "Partitioned CPU":
+        output = cpu_radix_join(build, probe, cpu, **keys)
+    elif variant == "Non-partitioned CPU":
+        output = non_partitioned_join(build, probe, cpu, **keys)
+    elif variant == "Partitioned GPU":
+        if gpu is None:
+            raise ValueError("topology has no GPU for a GPU join variant")
+        output = gpu_partitioned_join(build, probe, gpu, **keys)
+    elif variant == "Non-partitioned GPU":
+        if gpu is None:
+            raise ValueError("topology has no GPU for a GPU join variant")
+        output = non_partitioned_join(build, probe, gpu, **keys)
+    else:
+        raise ValueError(
+            f"unknown join variant {variant!r}; expected one of {FIGURE6_VARIANTS}")
+    return JoinRun(variant=variant, tuples_per_side=workload.tuples_per_side,
+                   output_rows=output.num_rows,
+                   simulated_seconds=output.cost.seconds)
+
+
+def run_all_variants(tuples_per_side: int, *, seed: int = 42,
+                     topology: Topology | None = None) -> dict[str, JoinRun]:
+    """Run every Figure-6 variant on a freshly generated workload."""
+    workload = make_join_pair(tuples_per_side, seed=seed)
+    topology = topology if topology is not None else default_server()
+    return {variant: run_join_variant(variant, workload, topology)
+            for variant in FIGURE6_VARIANTS}
+
+
+def run_coprocessed_join(tuples_per_side: int, *, num_gpus: int = 1,
+                         seed: int = 42,
+                         topology: Topology | None = None) -> JoinRun:
+    """Run the out-of-GPU co-processed join of Figure 7 (reduced scale)."""
+    topology = topology if topology is not None else default_server()
+    gpus = list(topology.gpus())[:num_gpus]
+    if not gpus:
+        raise ValueError("co-processed join requires at least one GPU")
+    workload = make_join_pair(tuples_per_side, seed=seed)
+    topology.reset()
+    output = coprocessed_radix_join(
+        workload.build.arrays(), workload.probe.arrays(), topology,
+        build_keys=["key"], probe_keys=["key"], gpus=gpus,
+        config=GpuJoinConfig())
+    makespan = topology.timeline().makespan
+    return JoinRun(variant=f"Co-processing {num_gpus} GPU(s)",
+                   tuples_per_side=tuples_per_side,
+                   output_rows=output.num_rows,
+                   simulated_seconds=makespan)

@@ -1,0 +1,183 @@
+"""Logical plans for the TPC-H queries of the paper's evaluation (Section 6.4).
+
+The paper uses Q1 and Q6 (scan/aggregation bound) and Q5 and Q9 (join heavy)
+at scale factor 100.  Q9 is run "without the LIKE condition and the join to
+the corresponding filtered table" — i.e. the ``part`` table is dropped from
+the join graph — exactly as the paper states.
+
+Plans are built against a generated :class:`~repro.storage.tpch.TPCHDataset`
+because dictionary-encoded literals (``r_name = 'ASIA'``) need the dataset's
+dictionaries to resolve string constants into codes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from ..relational.expr import agg_avg, agg_count, agg_sum, between, col, lit
+from ..relational.logical import LogicalPlan, scan
+from ..storage.dtypes import date_to_int
+from ..storage.tpch import TPCHDataset
+
+#: The queries the evaluation uses, in the order of Figure 8.
+EVALUATED_QUERIES = ("Q1", "Q5", "Q6", "Q9")
+
+
+@dataclass(frozen=True)
+class TPCHQuery:
+    """A named TPC-H query plan plus its classification."""
+
+    name: str
+    plan: LogicalPlan
+    category: str  # "scan-bound" | "join-heavy"
+    tables: tuple[str, ...]
+
+
+def _code(dataset: TPCHDataset, table: str, column: str, value: str) -> int:
+    dictionary = dataset.table(table).column(column).dictionary
+    if dictionary is None:
+        raise ValueError(f"{table}.{column} is not dictionary encoded")
+    return dictionary.code(value)
+
+
+def tpch_q1(dataset: TPCHDataset) -> TPCHQuery:
+    """Q1: pricing summary report (multi-aggregate scan of lineitem)."""
+    cutoff = date_to_int("1998-09-02")  # 1998-12-01 minus 90 days
+    lineitem = scan("lineitem", [
+        "l_returnflag", "l_linestatus", "l_quantity", "l_extendedprice",
+        "l_discount", "l_tax", "l_shipdate",
+    ])
+    filtered = lineitem.filter(col("l_shipdate") <= lit(cutoff))
+    projected = filtered.project({
+        "l_returnflag": col("l_returnflag"),
+        "l_linestatus": col("l_linestatus"),
+        "l_quantity": col("l_quantity"),
+        "l_extendedprice": col("l_extendedprice"),
+        "l_discount": col("l_discount"),
+        "disc_price": col("l_extendedprice") * (lit(1.0) - col("l_discount")),
+        "charge": (col("l_extendedprice") * (lit(1.0) - col("l_discount"))
+                   * (lit(1.0) + col("l_tax"))),
+    })
+    aggregated = projected.aggregate(
+        ["l_returnflag", "l_linestatus"],
+        [
+            agg_sum(col("l_quantity"), "sum_qty"),
+            agg_sum(col("l_extendedprice"), "sum_base_price"),
+            agg_sum(col("disc_price"), "sum_disc_price"),
+            agg_sum(col("charge"), "sum_charge"),
+            agg_avg(col("l_quantity"), "avg_qty"),
+            agg_avg(col("l_extendedprice"), "avg_price"),
+            agg_avg(col("l_discount"), "avg_disc"),
+            agg_count("count_order"),
+        ],
+    )
+    plan = aggregated.order_by(["l_returnflag", "l_linestatus"])
+    return TPCHQuery("Q1", plan, "scan-bound", ("lineitem",))
+
+
+def tpch_q6(dataset: TPCHDataset) -> TPCHQuery:
+    """Q6: forecasting revenue change (selective scan + grand aggregate)."""
+    lineitem = scan("lineitem", [
+        "l_shipdate", "l_discount", "l_quantity", "l_extendedprice",
+    ])
+    predicate = (
+        (col("l_shipdate") >= lit(date_to_int("1994-01-01")))
+        & (col("l_shipdate") < lit(date_to_int("1995-01-01")))
+        & between(col("l_discount"), 0.05, 0.07)
+        & (col("l_quantity") < lit(24.0))
+    )
+    filtered = lineitem.filter(predicate)
+    projected = filtered.project({
+        "revenue_item": col("l_extendedprice") * col("l_discount"),
+    })
+    plan = projected.aggregate([], [agg_sum(col("revenue_item"), "revenue")])
+    return TPCHQuery("Q6", plan, "scan-bound", ("lineitem",))
+
+
+def tpch_q5(dataset: TPCHDataset) -> TPCHQuery:
+    """Q5: local supplier volume (6-table join + group-by on nation)."""
+    asia = _code(dataset, "region", "r_name", "ASIA")
+    asia_nations = (
+        scan("region", ["r_regionkey", "r_name"])
+        .filter(col("r_name") == lit(asia))
+        .join(scan("nation", ["n_nationkey", "n_regionkey", "n_name"]),
+              ["r_regionkey"], ["n_regionkey"])
+    )
+    suppliers = asia_nations.join(
+        scan("supplier", ["s_suppkey", "s_nationkey"]),
+        ["n_nationkey"], ["s_nationkey"])
+    orders = scan("orders", ["o_orderkey", "o_custkey", "o_orderdate"]).filter(
+        (col("o_orderdate") >= lit(date_to_int("1994-01-01")))
+        & (col("o_orderdate") < lit(date_to_int("1995-01-01")))
+    )
+    customer_orders = scan("customer", ["c_custkey", "c_nationkey"]).join(
+        orders, ["c_custkey"], ["o_custkey"])
+    line_with_orders = customer_orders.join(
+        scan("lineitem", ["l_orderkey", "l_suppkey", "l_extendedprice",
+                          "l_discount"]),
+        ["o_orderkey"], ["l_orderkey"])
+    joined = suppliers.join(line_with_orders,
+                            ["s_suppkey", "n_nationkey"],
+                            ["l_suppkey", "c_nationkey"])
+    projected = joined.project({
+        "n_name": col("n_name"),
+        "revenue_item": col("l_extendedprice") * (lit(1.0) - col("l_discount")),
+    })
+    plan = (projected
+            .aggregate(["n_name"], [agg_sum(col("revenue_item"), "revenue")])
+            .order_by(["n_name"]))
+    return TPCHQuery(
+        "Q5", plan, "join-heavy",
+        ("region", "nation", "supplier", "customer", "orders", "lineitem"))
+
+
+def tpch_q9(dataset: TPCHDataset) -> TPCHQuery:
+    """Q9*: product type profit, without the LIKE filter and the part join."""
+    supplier_nations = scan("supplier", ["s_suppkey", "s_nationkey"]).join(
+        scan("nation", ["n_nationkey", "n_name"]),
+        ["s_nationkey"], ["n_nationkey"])
+    lineitem = scan("lineitem", ["l_orderkey", "l_partkey", "l_suppkey",
+                                 "l_quantity", "l_extendedprice", "l_discount"])
+    line_partsupp = scan("partsupp", ["ps_partkey", "ps_suppkey",
+                                      "ps_supplycost"]).join(
+        lineitem, ["ps_partkey", "ps_suppkey"], ["l_partkey", "l_suppkey"])
+    with_orders = scan("orders", ["o_orderkey", "o_orderdate"]).join(
+        line_partsupp, ["o_orderkey"], ["l_orderkey"])
+    joined = supplier_nations.join(with_orders, ["s_suppkey"], ["l_suppkey"])
+    projected = joined.project({
+        "n_name": col("n_name"),
+        "o_year": col("o_orderdate") // lit(10000),
+        "amount": (col("l_extendedprice") * (lit(1.0) - col("l_discount"))
+                   - col("ps_supplycost") * col("l_quantity")),
+    })
+    plan = (projected
+            .aggregate(["n_name", "o_year"], [agg_sum(col("amount"), "sum_profit")])
+            .order_by(["n_name", "o_year"]))
+    return TPCHQuery(
+        "Q9", plan, "join-heavy",
+        ("supplier", "nation", "partsupp", "orders", "lineitem"))
+
+
+_BUILDERS: dict[str, Callable[[TPCHDataset], TPCHQuery]] = {
+    "Q1": tpch_q1,
+    "Q5": tpch_q5,
+    "Q6": tpch_q6,
+    "Q9": tpch_q9,
+}
+
+
+def build_query(name: str, dataset: TPCHDataset) -> TPCHQuery:
+    """Build one of the evaluated queries by name (``"Q1"`` ... ``"Q9"``)."""
+    try:
+        builder = _BUILDERS[name.upper()]
+    except KeyError as exc:
+        raise KeyError(
+            f"unknown query {name!r}; evaluated queries: {EVALUATED_QUERIES}"
+        ) from exc
+    return builder(dataset)
+
+
+def all_queries(dataset: TPCHDataset) -> dict[str, TPCHQuery]:
+    """All four evaluated queries keyed by name."""
+    return {name: build_query(name, dataset) for name in EVALUATED_QUERIES}

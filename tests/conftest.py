@@ -1,0 +1,53 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import pytest
+
+# Allow running the tests without installing the package (offline CI).
+_SRC = Path(__file__).resolve().parent.parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+from repro.engine import HAPEEngine  # noqa: E402
+from repro.hardware import default_server  # noqa: E402
+from repro.storage import generate_tpch, make_join_pair  # noqa: E402
+
+
+@pytest.fixture
+def topology():
+    """The paper's testbed: 2 CPU sockets + 2 GPUs."""
+    return default_server()
+
+
+@pytest.fixture
+def cpu(topology):
+    return topology.device("cpu0")
+
+
+@pytest.fixture
+def gpu(topology):
+    return topology.device("gpu0")
+
+
+@pytest.fixture(scope="session")
+def tpch_dataset():
+    """A small but non-trivial TPC-H dataset shared by the suite."""
+    return generate_tpch(scale_factor=0.005, seed=7)
+
+
+@pytest.fixture
+def engine(tpch_dataset):
+    """A HAPE engine with the TPC-H tables registered."""
+    engine = HAPEEngine(default_server())
+    engine.register_dataset(tpch_dataset.tables)
+    return engine
+
+
+@pytest.fixture(scope="session")
+def join_workload():
+    """The microbenchmark workload: two 5000-tuple tables, identical keys."""
+    return make_join_pair(5_000, seed=3)

@@ -1,0 +1,175 @@
+"""Tests for the commercial-system baselines and the paper-scale models."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import DBMSC, DBMSG
+from repro.errors import UnsupportedQueryError
+from repro.perf import (
+    FIGURE8_SYSTEMS,
+    JoinModels,
+    TPCHModels,
+    format_headline_claims,
+    format_series,
+    headline_claims,
+)
+from repro.relational import execute_logical
+from repro.workloads import build_query
+
+
+class TestDBMSC:
+    def test_q1_matches_reference_and_costs_time(self, engine, tpch_dataset):
+        query = build_query("Q1", tpch_dataset)
+        baseline = DBMSC(engine.topology)
+        result = baseline.execute(query.plan, engine.catalog)
+        reference = execute_logical(query.plan, engine.catalog)
+        assert result.table.equals(reference, check_order=False)
+        assert result.simulated_seconds > 0
+
+    def test_vector_at_a_time_penalizes_many_aggregates(self, engine, tpch_dataset):
+        """Q1 (8 aggregates) is hit harder than Q6 (1 aggregate)."""
+        baseline = DBMSC(engine.topology)
+        q1 = baseline.execute(build_query("Q1", tpch_dataset).plan,
+                              engine.catalog)
+        q6 = baseline.execute(build_query("Q6", tpch_dataset).plan,
+                              engine.catalog)
+        assert q1.simulated_seconds > q6.simulated_seconds
+
+    def test_join_seconds_scales_with_input(self):
+        baseline = DBMSC()
+        assert baseline.join_seconds(64_000_000) < baseline.join_seconds(256_000_000)
+
+
+class TestDBMSG:
+    def test_supports_only_star_like_queries(self, engine, tpch_dataset):
+        baseline = DBMSG(engine.topology)
+        q1 = build_query("Q1", tpch_dataset)
+        result = baseline.execute(q1.plan, engine.catalog, query_name="Q1")
+        reference = execute_logical(q1.plan, engine.catalog)
+        assert result.table.equals(reference, check_order=False)
+        for name in ("Q5", "Q6", "Q9"):
+            with pytest.raises(UnsupportedQueryError):
+                baseline.execute(build_query(name, tpch_dataset).plan,
+                                 engine.catalog, query_name=name)
+
+    def test_out_of_gpu_support_check(self):
+        baseline = DBMSG()
+        assert baseline.supports_out_of_gpu(64_000_000)
+        assert not baseline.supports_out_of_gpu(2_000_000_000)
+
+    def test_out_of_gpu_joins_are_interconnect_bound(self):
+        baseline = DBMSG()
+        n = 512_000_000
+        assert baseline.join_seconds(n, data_on_gpu=False) \
+            > 4 * baseline.join_seconds(min(n, 128_000_000), data_on_gpu=True)
+
+
+class TestFigure5Model:
+    def test_scratchpad_beats_l1_everywhere(self):
+        series = JoinModels().figure5_series()
+        for (size, sm), (_, l1), (_, both) in zip(series["SM"], series["L1"],
+                                                  series["SM+L1"]):
+            assert sm < l1, f"SM must beat L1 at partition size {size}"
+            assert sm <= both * 1.05
+
+    def test_scratchpad_curve_is_flat(self):
+        series = dict(JoinModels().figure5_series())["SM"]
+        values = [seconds for _, seconds in series if _ >= 512]
+        assert max(values) / min(values) < 2.0
+
+
+class TestFigure6Model:
+    def test_gpu_radix_join_wins(self):
+        models = JoinModels()
+        n = 128_000_000
+        gpu_radix = models.partitioned_gpu_seconds(n)
+        assert models.partitioned_cpu_seconds(n) > 3 * gpu_radix
+        assert models.non_partitioned_gpu_seconds(n) > 3 * gpu_radix
+        assert models.dbms_c_seconds(n) > 3 * gpu_radix
+
+    def test_partitioned_cpu_beats_non_partitioned_at_scale(self):
+        models = JoinModels()
+        n = 128_000_000
+        assert models.partitioned_cpu_seconds(n) \
+            < models.non_partitioned_cpu_seconds(n)
+
+    def test_gpu_variants_stop_at_memory_capacity(self):
+        models = JoinModels()
+        assert models.partitioned_gpu_seconds(512_000_000) is None
+        series = models.figure6_series(sizes_mtuples=(128, 512))
+        assert series["Partitioned GPU"][1].seconds is None
+        assert not series["Partitioned GPU"][1].supported
+
+
+class TestFigure7Model:
+    def test_coprocessing_beats_both_baselines(self):
+        models = JoinModels()
+        for n in (256_000_000, 2_048_000_000):
+            coproc = models.coprocessing_seconds(n, num_gpus=2)
+            assert coproc < models.dbms_c_seconds(n)
+            assert coproc < models.dbms_g_out_of_gpu_seconds(n)
+
+    def test_second_gpu_almost_doubles_throughput(self):
+        models = JoinModels()
+        n = 2_048_000_000
+        speedup = (models.coprocessing_seconds(n, num_gpus=1)
+                   / models.coprocessing_seconds(n, num_gpus=2))
+        assert 1.4 <= speedup <= 2.0
+
+    def test_series_have_all_sizes(self):
+        series = JoinModels().figure7_series()
+        assert set(series) == {"1 GPU", "2 GPUs", "DBMS C", "DBMS G"}
+        assert all(len(points) == 4 for points in series.values())
+
+
+class TestFigure8And9Models:
+    @pytest.fixture(scope="class")
+    def figure8(self):
+        return TPCHModels().figure8()
+
+    def test_every_query_has_every_system(self, figure8):
+        for query, estimates in figure8.items():
+            assert [e.system for e in estimates] == list(FIGURE8_SYSTEMS)
+
+    def test_scan_bound_queries_favor_cpu(self, figure8):
+        for query in ("Q1", "Q6"):
+            estimates = {e.system: e.seconds for e in figure8[query]}
+            assert estimates["Proteus GPUs"] > 2.0 * estimates["Proteus CPUs"]
+
+    def test_join_heavy_q5_favors_gpu(self, figure8):
+        estimates = {e.system: e.seconds for e in figure8["Q5"]}
+        assert estimates["Proteus GPUs"] < estimates["Proteus CPUs"]
+
+    def test_hybrid_always_wins(self, figure8):
+        for query, estimates in figure8.items():
+            by_system = {e.system: e.seconds for e in estimates}
+            hybrid = by_system["Proteus Hybrid"]
+            for system, seconds in by_system.items():
+                if seconds is not None:
+                    assert hybrid <= seconds * 1.001
+
+    def test_unsupported_configurations(self, figure8):
+        q9 = {e.system: e for e in figure8["Q9"]}
+        assert not q9["Proteus GPUs"].supported
+        assert not q9["DBMS G"].supported
+        q5 = {e.system: e for e in figure8["Q5"]}
+        assert not q5["DBMS G"].supported
+
+    def test_figure9_partitioned_join_wins(self):
+        figure9 = TPCHModels().figure9()
+        for config in ("GPU", "Hybrid"):
+            assert figure9[config]["Partitioned join"] \
+                < figure9[config]["Non partitioned join"]
+
+    def test_headline_claims_positive_and_formatted(self):
+        claims = headline_claims()
+        assert len(claims) >= 10
+        assert all(claim.measured > 1.0 for claim in claims)
+        text = format_headline_claims()
+        assert "paper" in text and "measured" in text
+
+    def test_format_series_helper(self):
+        series = JoinModels().figure7_series(sizes_mtuples=(256,))
+        text = format_series("Figure 7", series)
+        assert "Figure 7" in text and "DBMS C" in text

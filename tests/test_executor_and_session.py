@@ -1,0 +1,127 @@
+"""Tests for the executor internals, the engine facade and the OpCost type."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.engine import ExecutorOptions, HAPEEngine, Optimizer, OptimizerOptions
+from repro.hardware import DeviceKind, default_server
+from repro.operators import OpCost
+from repro.relational import RoutingPolicy, agg_sum, col, lit, scan
+from repro.storage import Table, generate_tpch
+from repro.workloads import build_query
+
+
+class TestOpCost:
+    def test_add_and_merge(self):
+        cost = OpCost().add("scan", 1.0).add("probe", 2.0)
+        other = OpCost().add("scan", 0.5)
+        cost.merge(other)
+        assert cost.seconds == pytest.approx(3.5)
+        assert cost.breakdown["scan"] == pytest.approx(1.5)
+
+    def test_scaled(self):
+        cost = OpCost().add("scan", 2.0).add("probe", 4.0)
+        half = cost.scaled(0.5)
+        assert half.seconds == pytest.approx(3.0)
+        assert cost.seconds == pytest.approx(6.0)
+
+    def test_invalid_values_rejected(self):
+        with pytest.raises(ValueError):
+            OpCost().add("x", -1.0)
+        with pytest.raises(ValueError):
+            OpCost().scaled(-0.1)
+
+
+class TestExecutorBehaviour:
+    def test_hybrid_overhead_option_slows_hybrid_runs(self, tpch_dataset):
+        query = build_query("Q1", tpch_dataset)
+        cheap = HAPEEngine(default_server(),
+                           executor_options=ExecutorOptions(hybrid_overhead=0.0))
+        cheap.register_dataset(tpch_dataset.tables)
+        expensive = HAPEEngine(default_server(),
+                               executor_options=ExecutorOptions(hybrid_overhead=0.8))
+        expensive.register_dataset(tpch_dataset.tables)
+        fast = cheap.execute(query.plan, "hybrid").simulated_seconds
+        slow = expensive.execute(query.plan, "hybrid").simulated_seconds
+        assert slow > fast
+
+    def test_consecutive_queries_reset_the_timeline(self, engine, tpch_dataset):
+        query = build_query("Q6", tpch_dataset)
+        first = engine.execute(query.plan, "hybrid").simulated_seconds
+        second = engine.execute(query.plan, "hybrid").simulated_seconds
+        assert second == pytest.approx(first, rel=1e-6)
+
+    def test_link_bytes_accounted_per_link(self, engine, tpch_dataset):
+        result = engine.execute(build_query("Q1", tpch_dataset).plan, "gpu")
+        assert result.link_bytes.get("pcie0", 0) > 0
+        assert result.link_bytes.get("pcie1", 0) > 0
+
+    def test_busy_fraction_bounded(self, engine, tpch_dataset):
+        result = engine.execute(build_query("Q5", tpch_dataset).plan, "hybrid")
+        for resource in result.device_busy:
+            assert 0.0 <= result.busy_fraction(resource) <= 1.0 + 1e-9
+
+    def test_execution_result_utilization_helper(self, engine, tpch_dataset):
+        result = engine.executor.execute(
+            engine.plan(build_query("Q6", tpch_dataset).plan, "cpu"))
+        assert 0.0 <= result.utilization("cpu0") <= 1.0
+
+
+class TestEngineFacade:
+    def test_register_table_and_replace(self):
+        engine = HAPEEngine(default_server())
+        table = Table.from_arrays("t", {"a": np.arange(5)})
+        engine.register_table(table)
+        with pytest.raises(Exception):
+            engine.register_table(table)
+        engine.register_table(table, replace=True)
+        plan = scan("t").aggregate([], [agg_sum(col("a"), "s")])
+        assert engine.execute(plan, "cpu").table.array("s")[0] == 10
+
+    def test_default_topology_is_paper_testbed(self):
+        engine = HAPEEngine()
+        assert len(engine.topology.cpus()) == 2
+        assert len(engine.topology.gpus()) == 2
+
+    def test_plan_and_pipelines_exposed_in_result(self, engine, tpch_dataset):
+        result = engine.execute(build_query("Q6", tpch_dataset).plan, "hybrid")
+        assert result.physical_plan is not None
+        assert len(result.pipelines) >= 2
+        assert result.mode.value == "hybrid"
+
+
+class TestOptimizerOptions:
+    def test_routing_policy_option_is_used(self, tpch_dataset):
+        engine = HAPEEngine(
+            default_server(),
+            optimizer_options=OptimizerOptions(
+                routing_policy=RoutingPolicy.LOCALITY_AWARE))
+        engine.register_dataset(tpch_dataset.tables)
+        physical = engine.plan(build_query("Q6", tpch_dataset).plan, "cpu")
+        routers = [node for node in physical.walk()
+                   if type(node).__name__ == "Router"]
+        assert any(router.policy is RoutingPolicy.LOCALITY_AWARE
+                   for router in routers)
+
+    def test_estimate_rows_discounts_filters(self, engine):
+        optimizer: Optimizer = engine.optimizer
+        base = optimizer._estimate_rows(scan("lineitem"))
+        filtered = optimizer._estimate_rows(
+            scan("lineitem").filter(col("l_quantity") < lit(10.0)))
+        assert filtered < base
+
+    def test_gpu_only_rejects_oversized_builds(self, tpch_dataset):
+        from repro.errors import OptimizerError
+        from repro.hardware import gtx_1080
+        tiny_gpu = gtx_1080().with_memory_capacity(64 * 1024)
+        topology = default_server(gpu_spec=tiny_gpu)
+        engine = HAPEEngine(topology)
+        engine.register_dataset(tpch_dataset.tables)
+        plan = scan("orders").join(
+            scan("lineitem", ["l_orderkey", "l_extendedprice"]),
+            ["o_orderkey"], ["l_orderkey"]).aggregate(
+                [], [agg_sum(col("l_extendedprice"), "s")])
+        with pytest.raises(OptimizerError):
+            engine.plan(plan, "gpu")

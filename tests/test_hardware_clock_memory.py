@@ -1,0 +1,127 @@
+"""Tests for simulated clocks, timelines and memory pools."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import OutOfDeviceMemoryError
+from repro.hardware import MemoryPool, SimClock, Timeline
+
+
+class TestSimClock:
+    def test_reserve_advances_availability(self):
+        clock = SimClock("cpu0")
+        first = clock.reserve(1.0, label="a")
+        second = clock.reserve(0.5, label="b")
+        assert first.start == 0.0 and first.end == 1.0
+        assert second.start == 1.0 and second.end == 1.5
+        assert clock.busy_time == pytest.approx(1.5)
+
+    def test_reserve_respects_earliest(self):
+        clock = SimClock("gpu0")
+        record = clock.reserve(0.2, earliest=3.0)
+        assert record.start == 3.0
+        assert clock.available_at == pytest.approx(3.2)
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(ValueError):
+            SimClock("x").reserve(-1.0)
+
+    def test_reset(self):
+        clock = SimClock("x")
+        clock.reserve(1.0)
+        clock.reset()
+        assert clock.available_at == 0.0
+        assert clock.busy_time == 0.0
+        assert clock.records == ()
+
+    def test_records_overlap_detection(self):
+        clock = SimClock("x")
+        a = clock.reserve(1.0)
+        b = clock.reserve(1.0)
+        assert not a.overlaps(b)
+        assert a.overlaps(a)
+
+
+class TestTimeline:
+    def test_makespan_is_max_over_resources(self):
+        a, b = SimClock("a"), SimClock("b")
+        timeline = Timeline([a, b])
+        a.reserve(2.0)
+        b.reserve(0.5)
+        assert timeline.makespan == pytest.approx(2.0)
+        assert timeline.utilization("b") == pytest.approx(0.25)
+
+    def test_duplicate_resource_rejected(self):
+        timeline = Timeline([SimClock("a")])
+        with pytest.raises(ValueError):
+            timeline.add(SimClock("a"))
+
+    def test_records_sorted_by_start(self):
+        a, b = SimClock("a"), SimClock("b")
+        timeline = Timeline([a, b])
+        b.reserve(1.0, earliest=5.0)
+        a.reserve(1.0)
+        records = timeline.records()
+        assert [record.resource for record in records] == ["a", "b"]
+
+    def test_empty_timeline(self):
+        assert Timeline().makespan == 0.0
+
+
+class TestMemoryPool:
+    def test_allocate_and_free(self):
+        pool = MemoryPool("gpu0", 1000)
+        allocation = pool.allocate(400, "hash table")
+        assert pool.used_bytes == 400
+        assert pool.free_bytes == 600
+        allocation.free()
+        assert pool.used_bytes == 0
+        allocation.free()  # idempotent
+        assert pool.used_bytes == 0
+
+    def test_out_of_memory_raises(self):
+        pool = MemoryPool("gpu0", 100)
+        pool.allocate(80)
+        with pytest.raises(OutOfDeviceMemoryError) as excinfo:
+            pool.allocate(21)
+        assert excinfo.value.device == "gpu0"
+        assert excinfo.value.available == 20
+
+    def test_context_manager_frees(self):
+        pool = MemoryPool("cpu0", 100)
+        with pool.allocate(50):
+            assert pool.used_bytes == 50
+        assert pool.used_bytes == 0
+
+    def test_peak_tracking(self):
+        pool = MemoryPool("gpu0", 1000)
+        first = pool.allocate(300)
+        second = pool.allocate(400)
+        first.free()
+        second.free()
+        assert pool.peak_bytes == 700
+
+    def test_negative_and_invalid(self):
+        with pytest.raises(ValueError):
+            MemoryPool("x", 0)
+        pool = MemoryPool("x", 10)
+        with pytest.raises(ValueError):
+            pool.allocate(-1)
+
+    @given(st.lists(st.integers(min_value=0, max_value=200), max_size=30))
+    def test_usage_never_exceeds_capacity(self, sizes):
+        """Property: whatever the allocation pattern, usage <= capacity."""
+        pool = MemoryPool("gpu0", 1000)
+        live = []
+        for size in sizes:
+            try:
+                live.append(pool.allocate(size))
+            except OutOfDeviceMemoryError:
+                if live:
+                    live.pop().free()
+            assert 0 <= pool.used_bytes <= pool.capacity_bytes
+        for allocation in live:
+            allocation.free()
+        assert pool.used_bytes == 0

@@ -1,0 +1,126 @@
+"""Tests for the analytical cost model.
+
+These tests pin down the qualitative memory-system behaviour the paper's
+argument relies on, rather than exact constants.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.hardware import AccessProfile, CostModel, gtx_1080, xeon_e5_2650l_v3
+
+MIB = 1024 ** 2
+GIB = 1024 ** 3
+
+
+@pytest.fixture
+def cpu_model():
+    return CostModel(xeon_e5_2650l_v3())
+
+
+@pytest.fixture
+def gpu_model():
+    return CostModel(gtx_1080())
+
+
+class TestSequentialAccess:
+    def test_seq_scan_scales_linearly(self, cpu_model):
+        assert cpu_model.seq_scan(2 * GIB) == pytest.approx(
+            2 * cpu_model.seq_scan(GIB))
+
+    def test_zero_bytes_is_free(self, cpu_model):
+        assert cpu_model.seq_scan(0) == 0.0
+        assert cpu_model.seq_write(0) == 0.0
+
+    def test_gpu_streams_faster_than_cpu(self, cpu_model, gpu_model):
+        assert gpu_model.seq_scan(GIB) < cpu_model.seq_scan(GIB)
+
+    def test_materialize_costs_write_plus_read(self, cpu_model):
+        assert cpu_model.materialize(GIB) == pytest.approx(
+            cpu_model.seq_scan(GIB) + cpu_model.seq_write(GIB))
+
+    def test_partial_parallelism_is_slower(self, cpu_model):
+        full = cpu_model.seq_scan(GIB, parallel_fraction=1.0)
+        partial = cpu_model.seq_scan(GIB, parallel_fraction=0.25)
+        assert partial > full
+
+
+class TestRandomAccess:
+    def test_random_access_overfetches_vs_sequential(self, cpu_model):
+        """8-byte random accesses waste bandwidth on full cache lines."""
+        count = 10_000_000
+        nbytes = count * 8
+        sequential = cpu_model.seq_scan(nbytes)
+        random = cpu_model.random_access(
+            AccessProfile(count, 8, 4 * GIB), target="memory")
+        assert random > 3 * sequential
+
+    def test_scratchpad_does_not_overfetch(self, gpu_model):
+        """The core of Figure 5: scratchpad accesses beat L1/DRAM accesses."""
+        count = 1_000_000
+        profile = AccessProfile(count, 8, 48 * 1024)
+        scratchpad = gpu_model.random_access(profile, target="scratchpad")
+        l1 = gpu_model.random_access(
+            AccessProfile(count, 8, 4 * MIB), target="L1")
+        dram = gpu_model.random_access(
+            AccessProfile(count, 8, GIB), target="memory")
+        assert scratchpad < l1
+        assert scratchpad < dram
+
+    def test_cache_resident_working_set_is_cheap(self, cpu_model):
+        small = cpu_model.random_access(AccessProfile(1_000_000, 8, 32 * 1024),
+                                        target="L1")
+        large = cpu_model.random_access(AccessProfile(1_000_000, 8, GIB),
+                                        target="L1")
+        assert small < large
+
+    def test_cpu_scratchpad_access_rejected(self, cpu_model):
+        with pytest.raises(ValueError):
+            cpu_model.random_access(AccessProfile(10, 8, 100),
+                                    target="scratchpad")
+
+    def test_zero_accesses_free(self, cpu_model):
+        assert cpu_model.random_access(AccessProfile(0, 8, GIB)) == 0.0
+
+
+class TestTLBAndAtomics:
+    def test_no_tlb_cost_when_working_set_fits(self, cpu_model):
+        reach = cpu_model.spec.tlb.reach_bytes
+        assert cpu_model.tlb_miss_cost(1_000_000, reach // 2) == 0.0
+
+    def test_tlb_cost_grows_with_working_set(self, cpu_model):
+        reach = cpu_model.spec.tlb.reach_bytes
+        small = cpu_model.tlb_miss_cost(1_000_000, reach * 2)
+        large = cpu_model.tlb_miss_cost(1_000_000, reach * 100)
+        assert 0.0 < small < large
+
+    def test_atomics_and_launches(self, gpu_model):
+        assert gpu_model.atomic_ops(0) == 0.0
+        assert gpu_model.atomic_ops(10_000_000) > 0.0
+        assert gpu_model.kernel_launch(2) == pytest.approx(
+            2 * gpu_model.kernel_launch(1))
+
+
+class TestCompositeHelpers:
+    def test_partition_pass_consolidated_beats_scattered(self, gpu_model):
+        """Store consolidation (Figure 4) beats scattered random writes."""
+        consolidated = gpu_model.partition_pass(50_000_000, 8, 512,
+                                                consolidated=True)
+        scattered = gpu_model.partition_pass(50_000_000, 8, 512,
+                                             consolidated=False)
+        assert consolidated < scattered
+
+    def test_hash_probe_in_cache_beats_memory(self, cpu_model):
+        in_cache = cpu_model.hash_probe(10_000_000, 16, 128 * 1024, target="L2")
+        in_memory = cpu_model.hash_probe(10_000_000, 16, 2 * GIB,
+                                         target="memory")
+        assert in_cache < in_memory
+
+    @given(st.integers(min_value=1, max_value=10 ** 8))
+    def test_costs_are_non_negative_and_monotone(self, tuples):
+        model = CostModel(xeon_e5_2650l_v3())
+        smaller = model.partition_pass(tuples, 8, 64)
+        larger = model.partition_pass(tuples * 2, 8, 64)
+        assert 0.0 <= smaller <= larger

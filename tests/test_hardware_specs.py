@@ -1,0 +1,97 @@
+"""Tests for device specifications."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hardware import (
+    CacheSpec,
+    DeviceKind,
+    LinkSpec,
+    ScratchpadSpec,
+    TLBSpec,
+    gtx_1080,
+    pcie3_x16,
+    qpi_link,
+    xeon_e5_2650l_v3,
+)
+
+GIB = 1024 ** 3
+
+
+class TestDeviceSpecs:
+    def test_cpu_spec_matches_paper_testbed(self):
+        spec = xeon_e5_2650l_v3()
+        assert spec.kind is DeviceKind.CPU
+        assert spec.compute_units == 12
+        assert spec.clock_ghz == pytest.approx(1.8)
+        assert spec.cache("L1").capacity_bytes == 64 * 1024
+        assert spec.cache("L2").capacity_bytes == 256 * 1024
+        assert spec.cache("L3").capacity_bytes == 30 * 1024 ** 2
+        assert spec.scratchpad is None
+
+    def test_gpu_spec_matches_paper_testbed(self):
+        spec = gtx_1080()
+        assert spec.kind is DeviceKind.GPU
+        assert spec.memory_capacity_bytes == 8 * GIB
+        assert spec.memory_bandwidth_gib_s == pytest.approx(280.0)
+        assert spec.scratchpad is not None
+        assert spec.scratchpad.capacity_bytes == 96 * 1024
+        assert spec.kernel_launch_us > 0
+
+    def test_cache_lookup_is_case_insensitive(self):
+        spec = xeon_e5_2650l_v3()
+        assert spec.cache("l3") is spec.cache("L3")
+
+    def test_unknown_cache_level_raises(self):
+        with pytest.raises(KeyError):
+            xeon_e5_2650l_v3().cache("L4")
+
+    def test_last_level_cache_is_largest(self):
+        spec = xeon_e5_2650l_v3()
+        assert spec.last_level_cache.name == "L3"
+
+    def test_total_threads(self):
+        assert xeon_e5_2650l_v3().total_threads == 24
+        assert gtx_1080().total_threads == 20 * 2048
+
+    def test_with_memory_capacity_returns_copy(self):
+        spec = gtx_1080()
+        bigger = spec.with_memory_capacity(16 * GIB)
+        assert bigger.memory_capacity_bytes == 16 * GIB
+        assert spec.memory_capacity_bytes == 8 * GIB
+
+    def test_gpu_without_scratchpad_rejected(self):
+        spec = gtx_1080()
+        with pytest.raises(ValueError):
+            type(spec)(**{**spec.__dict__, "scratchpad": None})
+
+
+class TestComponentSpecs:
+    def test_tlb_reach(self):
+        tlb = TLBSpec(entries=64, page_bytes=2 * 1024 ** 2, miss_penalty_ns=30)
+        assert tlb.reach_bytes == 128 * 1024 ** 2
+
+    def test_invalid_cache_rejected(self):
+        with pytest.raises(ValueError):
+            CacheSpec("L1", 0, 64, 100.0, 1.0)
+        with pytest.raises(ValueError):
+            CacheSpec("L1", 1024, -1, 100.0, 1.0)
+
+    def test_invalid_tlb_rejected(self):
+        with pytest.raises(ValueError):
+            TLBSpec(entries=0, page_bytes=4096, miss_penalty_ns=10)
+
+    def test_invalid_scratchpad_rejected(self):
+        with pytest.raises(ValueError):
+            ScratchpadSpec(0, 32, 4, 9000.0, 20.0)
+
+    def test_link_specs(self):
+        pcie = pcie3_x16()
+        qpi = qpi_link()
+        assert pcie.bandwidth_gib_s < qpi.bandwidth_gib_s * 3
+        assert pcie.latency_us > qpi.latency_us
+        with pytest.raises(ValueError):
+            LinkSpec("bad", bandwidth_gib_s=0.0, latency_us=1.0)
+        with pytest.raises(ValueError):
+            LinkSpec("bad", bandwidth_gib_s=1.0, latency_us=-1.0)

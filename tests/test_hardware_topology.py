@@ -1,0 +1,119 @@
+"""Tests for the simulated server topology and interconnects."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import NoRouteError, UnknownDeviceError
+from repro.hardware import (
+    DeviceKind,
+    LinkSpec,
+    Topology,
+    cpu_only_server,
+    default_server,
+    gtx_1080,
+    single_gpu_server,
+    xeon_e5_2650l_v3,
+)
+
+GIB = 1024 ** 3
+
+
+class TestDefaultServer:
+    def test_paper_testbed_shape(self, topology):
+        assert len(topology.cpus()) == 2
+        assert len(topology.gpus()) == 2
+        assert len(topology.links) == 3  # one QPI + two dedicated PCIe
+
+    def test_each_gpu_has_its_own_pcie_link(self, topology):
+        route0 = topology.route("cpu0", "gpu0")
+        route1 = topology.route("cpu1", "gpu1")
+        assert route0.hop_count == 1
+        assert route1.hop_count == 1
+        assert route0.links[0].name != route1.links[0].name
+
+    def test_cross_socket_gpu_route_goes_through_qpi(self, topology):
+        route = topology.route("cpu0", "gpu1")
+        assert route.hop_count == 2
+        names = [link.name for link in route.links]
+        assert any(name.startswith("qpi") for name in names)
+        assert any(name.startswith("pcie") for name in names)
+
+    def test_route_to_self_is_free(self, topology):
+        route = topology.route("cpu0", "cpu0")
+        assert route.hop_count == 0
+        assert route.transfer_time(GIB) == 0.0
+
+    def test_transfer_time_bounded_by_pcie(self, topology):
+        seconds = topology.transfer_time(12 * GIB, "cpu0", "gpu0")
+        assert seconds == pytest.approx(1.0, rel=0.05)
+
+    def test_unknown_device(self, topology):
+        with pytest.raises(UnknownDeviceError):
+            topology.device("tpu0")
+        with pytest.raises(UnknownDeviceError):
+            topology.route("cpu0", "tpu0")
+
+    def test_device_groups(self, topology):
+        gpus = topology.group(DeviceKind.GPU)
+        assert len(gpus) == 2
+        assert gpus.aggregate_memory_bytes == 16 * GIB
+        assert gpus.kind is DeviceKind.GPU
+
+    def test_describe_mentions_every_device(self, topology):
+        text = topology.describe()
+        for name in ("cpu0", "cpu1", "gpu0", "gpu1", "pcie0", "pcie1"):
+            assert name in text
+
+    def test_variants(self):
+        assert len(single_gpu_server().gpus()) == 1
+        assert cpu_only_server().gpus() == ()
+        with pytest.raises(ValueError):
+            default_server(num_cpus=0)
+
+
+class TestTransfersAndReset:
+    def test_transfers_on_one_link_serialize(self, topology):
+        route = topology.route("cpu0", "gpu0")
+        first = route.transfer(GIB)
+        second = route.transfer(GIB)
+        assert second > first
+        assert topology.link("pcie0").bytes_moved == 2 * GIB
+
+    def test_transfers_on_distinct_links_overlap(self, topology):
+        end0 = topology.route("cpu0", "gpu0").transfer(GIB)
+        end1 = topology.route("cpu1", "gpu1").transfer(GIB)
+        # Both finish at (roughly) the same simulated time: no serialization.
+        assert end0 == pytest.approx(end1, rel=0.01)
+
+    def test_reset_clears_clocks_and_memory(self, topology):
+        gpu = topology.device("gpu0")
+        gpu.allocate(GIB)
+        topology.route("cpu0", "gpu0").transfer(GIB)
+        gpu.charge(1.0)
+        topology.reset()
+        assert gpu.memory.used_bytes == 0
+        assert gpu.clock.busy_time == 0.0
+        assert topology.timeline().makespan == 0.0
+
+    def test_no_route_in_disconnected_topology(self):
+        topology = Topology()
+        topology.add_device(xeon_e5_2650l_v3("cpu0"))
+        topology.add_device(gtx_1080("gpu0"))
+        with pytest.raises(NoRouteError):
+            topology.route("cpu0", "gpu0")
+
+    def test_duplicate_names_rejected(self):
+        topology = Topology()
+        topology.add_device(xeon_e5_2650l_v3("cpu0"))
+        with pytest.raises(ValueError):
+            topology.add_device(xeon_e5_2650l_v3("cpu0"))
+        topology.add_device(gtx_1080("gpu0"))
+        topology.connect("cpu0", "gpu0", LinkSpec("pcie0", 12.0, 10.0))
+        with pytest.raises(ValueError):
+            topology.connect("cpu0", "gpu0", LinkSpec("pcie0", 12.0, 10.0))
+
+    def test_timeline_contains_devices_and_links(self, topology):
+        timeline = topology.timeline()
+        assert "cpu0" in timeline
+        assert "pcie1" in timeline

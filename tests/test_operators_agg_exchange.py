@@ -1,0 +1,189 @@
+"""Tests for aggregation, filter/project and the HetExchange operators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ExecutionError
+from repro.operators import (
+    Router,
+    apply_filter_project,
+    broadcast,
+    device_crossing_cost,
+    hash_aggregate,
+    mem_move,
+    merge_partials,
+    zip_partitions,
+)
+from repro.relational import RoutingPolicy, agg_avg, agg_count, agg_sum, col, lit
+from repro.storage import Block
+
+
+@pytest.fixture
+def columns():
+    return {
+        "group": np.asarray([0, 1, 0, 1, 2], dtype=np.int32),
+        "value": np.asarray([1.0, 2.0, 3.0, 4.0, 5.0]),
+    }
+
+
+class TestFilterProject:
+    def test_filter_and_project(self, columns, cpu):
+        result = apply_filter_project(
+            columns, cpu,
+            predicate=col("value") > lit(2.0),
+            projections={"double": col("value") * lit(2.0),
+                         "group": col("group")})
+        assert result.num_rows == 3
+        assert result.columns["double"].tolist() == [6.0, 8.0, 10.0]
+        assert result.cost.seconds > 0
+
+    def test_projection_only(self, columns, cpu):
+        result = apply_filter_project(columns, cpu,
+                                      projections={"v": col("value")})
+        assert result.num_rows == 5
+
+    def test_empty_input(self, cpu):
+        result = apply_filter_project({"x": np.asarray([])[:0]}, cpu,
+                                      predicate=col("x") > lit(1))
+        assert result.num_rows == 0
+
+    def test_gpu_charges_kernel_launch(self, columns, gpu):
+        result = apply_filter_project(columns, gpu,
+                                      predicate=col("value") > lit(0.0))
+        assert "kernel-launch" in result.cost.breakdown
+
+
+class TestAggregation:
+    def test_grouped_aggregate_matches_numpy(self, columns, cpu):
+        result = hash_aggregate(
+            columns, cpu, group_by=["group"],
+            aggregates=[agg_sum(col("value"), "total"),
+                        agg_count("n"),
+                        agg_avg(col("value"), "mean")])
+        by_group = dict(zip(result.columns["group"].tolist(),
+                            result.columns["total"].tolist()))
+        assert by_group == {0: 4.0, 1: 6.0, 2: 5.0}
+        means = dict(zip(result.columns["group"].tolist(),
+                         result.columns["mean"].tolist()))
+        assert means[0] == pytest.approx(2.0)
+
+    def test_grand_aggregate(self, columns, cpu):
+        result = hash_aggregate(columns, cpu, group_by=[],
+                                aggregates=[agg_sum(col("value"), "s")])
+        assert result.columns["s"][0] == pytest.approx(15.0)
+
+    def test_partial_then_merge_equals_complete(self, columns, cpu):
+        aggregates = [agg_sum(col("value"), "total"),
+                      agg_avg(col("value"), "mean"), agg_count("n")]
+        first = {name: values[:3] for name, values in columns.items()}
+        second = {name: values[3:] for name, values in columns.items()}
+        partials = [
+            hash_aggregate(first, cpu, group_by=["group"],
+                           aggregates=aggregates, phase="partial").columns,
+            hash_aggregate(second, cpu, group_by=["group"],
+                           aggregates=aggregates, phase="partial").columns,
+        ]
+        merged = merge_partials(partials, cpu, group_by=["group"],
+                                aggregates=aggregates)
+        complete = hash_aggregate(columns, cpu, group_by=["group"],
+                                  aggregates=aggregates, phase="complete")
+        merged_sorted = {k: np.asarray(v)[np.argsort(merged.columns["group"])]
+                         for k, v in merged.columns.items()}
+        complete_sorted = {k: np.asarray(v)[np.argsort(complete.columns["group"])]
+                           for k, v in complete.columns.items()}
+        for key in ("total", "mean", "n"):
+            np.testing.assert_allclose(merged_sorted[key], complete_sorted[key])
+
+    def test_empty_aggregate(self, cpu):
+        result = hash_aggregate({}, cpu, group_by=[],
+                                aggregates=[agg_count("n")])
+        assert result.num_rows in (0, 1)
+
+
+class TestRouter:
+    def test_load_aware_balances_by_throughput(self, topology):
+        cpu, gpu = topology.device("cpu0"), topology.device("gpu0")
+        router = Router([cpu, gpu], RoutingPolicy.LOAD_AWARE)
+        for _ in range(100):
+            block = Block({"x": np.zeros(1000, dtype=np.int64)}, location="cpu0")
+            router.route(block)
+        assignments = router.assignments()
+        # The GPU has higher memory bandwidth, so it gets more packets.
+        assert assignments[gpu.name] > assignments[cpu.name]
+
+    def test_round_robin_policy(self, topology):
+        devices = list(topology.cpus())
+        router = Router(devices, RoutingPolicy.ROUND_ROBIN)
+        block = Block({"x": np.zeros(8)}, location="cpu0")
+        picks = [router.route(block).name for _ in range(4)]
+        assert picks == ["cpu0", "cpu1", "cpu0", "cpu1"]
+
+    def test_hash_policy_requires_partition_metadata(self, topology):
+        router = Router(list(topology.gpus()), RoutingPolicy.HASH)
+        tagged = Block({"x": np.zeros(4)}, location="cpu0", partition=3)
+        assert router.route(tagged).name == "gpu1"
+        untagged = Block({"x": np.zeros(4)}, location="cpu0")
+        with pytest.raises(ExecutionError):
+            router.route(untagged)
+
+    def test_locality_aware_prefers_local(self, topology):
+        devices = [topology.device("cpu0"), topology.device("cpu1")]
+        router = Router(devices, RoutingPolicy.LOCALITY_AWARE)
+        block = Block({"x": np.zeros(4)}, location="cpu1")
+        assert router.route(block).name == "cpu1"
+
+    def test_empty_consumer_list_rejected(self):
+        with pytest.raises(ExecutionError):
+            Router([], RoutingPolicy.LOAD_AWARE)
+
+
+class TestDataMovement:
+    def test_mem_move_charges_link(self, topology):
+        block = Block({"x": np.zeros(1_000_000, dtype=np.int64)},
+                      location="cpu0")
+        moved, ready = mem_move(block, topology, "gpu0")
+        assert moved.location == "gpu0"
+        assert ready > 0
+        assert topology.link("pcie0").bytes_moved == block.nbytes
+
+    def test_mem_move_to_same_location_is_free(self, topology):
+        block = Block({"x": np.zeros(10)}, location="cpu0")
+        moved, ready = mem_move(block, topology, "cpu0", earliest=1.5)
+        assert ready == 1.5
+        assert moved is block
+
+    def test_mem_move_respects_gpu_capacity(self, topology):
+        gpu = topology.device("gpu0")
+        gpu.allocate(gpu.memory.free_bytes - 10)
+        block = Block({"x": np.zeros(1000, dtype=np.int64)}, location="cpu0")
+        with pytest.raises(ExecutionError):
+            mem_move(block, topology, "gpu0")
+
+    def test_broadcast_shares_common_links(self, topology):
+        block = Block({"x": np.zeros(1_000_000, dtype=np.int64)},
+                      location="cpu0")
+        copies, ready = broadcast(block, topology, ["gpu0", "gpu1"])
+        assert set(copies) == {"gpu0", "gpu1"}
+        assert ready > 0
+        # The QPI hop towards gpu1's socket is paid exactly once.
+        assert topology.link("qpi01").bytes_moved == block.nbytes
+
+    def test_device_crossing_cost(self, topology):
+        gpu_cost = device_crossing_cost(topology.device("gpu0"))
+        cpu_cost = device_crossing_cost(topology.device("cpu0"))
+        assert gpu_cost.seconds > cpu_cost.seconds
+
+    def test_zip_partitions_validates_alignment(self):
+        left = [Block({"x": np.zeros(2)}, location="cpu0", partition=i)
+                for i in range(3)]
+        right = [Block({"x": np.zeros(2)}, location="cpu0", partition=i)
+                 for i in range(3)]
+        assert len(zip_partitions(left, right)) == 3
+        with pytest.raises(ExecutionError):
+            zip_partitions(left, right[:2])
+        misaligned = [Block({"x": np.zeros(2)}, location="cpu0", partition=9)
+                      for _ in range(3)]
+        with pytest.raises(ExecutionError):
+            zip_partitions(left, misaligned)

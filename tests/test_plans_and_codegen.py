@@ -1,0 +1,155 @@
+"""Tests for logical plans, the reference executor, traits, pipelines and JIT."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.codegen import (
+    CPUBackend,
+    GPUBackend,
+    break_into_pipelines,
+    pipelines_per_device,
+    provider_for,
+)
+from repro.errors import PlanError
+from repro.hardware import DeviceKind
+from repro.relational import (
+    Packing,
+    Traits,
+    agg_count,
+    agg_sum,
+    col,
+    count_operators,
+    cpu_traits,
+    execute_logical,
+    gpu_traits,
+    lit,
+    scan,
+)
+from repro.storage import Catalog, Table
+
+
+@pytest.fixture
+def catalog():
+    catalog = Catalog()
+    catalog.register(Table.from_arrays("t", {
+        "k": np.asarray([1, 2, 3, 4, 5, 6], dtype=np.int64),
+        "g": np.asarray([0, 0, 1, 1, 2, 2], dtype=np.int64),
+        "v": np.asarray([1.0, 2.0, 3.0, 4.0, 5.0, 6.0]),
+    }))
+    catalog.register(Table.from_arrays("d", {
+        "k": np.asarray([2, 4, 6], dtype=np.int64),
+        "label": np.asarray([20, 40, 60], dtype=np.int64),
+    }))
+    return catalog
+
+
+class TestLogicalPlansAndReference:
+    def test_filter_project_aggregate(self, catalog):
+        plan = (scan("t")
+                .filter(col("v") > lit(1.0))
+                .project({"g": col("g"), "v2": col("v") * lit(2.0)})
+                .aggregate(["g"], [agg_sum(col("v2"), "s"), agg_count("n")]))
+        result = execute_logical(plan, catalog)
+        by_group = dict(zip(result.array("g").tolist(), result.array("s").tolist()))
+        assert by_group == {0: 4.0, 1: 14.0, 2: 22.0}
+
+    def test_join_and_order(self, catalog):
+        plan = (scan("t").join(scan("d"), ["k"], ["k"])
+                .project({"k": col("k"), "label": col("label")})
+                .order_by(["k"]))
+        result = execute_logical(plan, catalog)
+        assert result.array("k").tolist() == [2, 4, 6]
+        assert result.array("label").tolist() == [20, 40, 60]
+
+    def test_plan_introspection(self):
+        plan = scan("t").filter(col("v") > lit(0)).join(scan("d"), ["k"], ["k"])
+        assert plan.referenced_tables() == {"t", "d"}
+        assert "Join" in plan.pretty()
+        assert len(list(plan.walk())) == 4
+
+    def test_invalid_plans_rejected(self):
+        with pytest.raises(PlanError):
+            scan("t").join(scan("d"), [], [])
+        with pytest.raises(PlanError):
+            scan("t").aggregate(["g"], [])
+        with pytest.raises(PlanError):
+            scan("t").project({})
+
+
+class TestTraits:
+    def test_trait_converters(self):
+        traits = cpu_traits(parallelism=2)
+        assert traits.with_device(DeviceKind.GPU).device is DeviceKind.GPU
+        assert traits.with_parallelism(4).parallelism == 4
+        assert traits.with_locality("gpu1").locality == "gpu1"
+        packed = traits.with_packing(Packing.PACKET, ("partition",))
+        assert packed.packet_properties == ("partition",)
+        assert "dop=2" in traits.describe()
+
+    def test_invalid_parallelism(self):
+        with pytest.raises(ValueError):
+            Traits(parallelism=0)
+
+    def test_gpu_traits_helper(self):
+        assert gpu_traits().device is DeviceKind.GPU
+
+
+class TestPipelines:
+    def test_fused_chain_is_one_pipeline(self, engine, tpch_dataset):
+        from repro.workloads import tpch_q6
+        physical = engine.plan(tpch_q6(tpch_dataset).plan, "cpu")
+        pipelines = break_into_pipelines(physical)
+        assert len(pipelines) >= 3  # scan, parallel pipeline, final aggregate
+        histogram = pipelines_per_device(pipelines)
+        assert DeviceKind.CPU in histogram
+
+    def test_gpu_plan_has_gpu_pipelines(self, engine, tpch_dataset):
+        from repro.workloads import tpch_q6
+        physical = engine.plan(tpch_q6(tpch_dataset).plan, "gpu")
+        histogram = pipelines_per_device(break_into_pipelines(physical))
+        assert histogram.get(DeviceKind.GPU, 0) >= 1
+        ops = count_operators(physical)
+        assert ops.get("MemMove", 0) >= 1
+        assert ops.get("DeviceCrossing", 0) >= 1
+
+
+class TestBackends:
+    def test_provider_registry(self):
+        assert isinstance(provider_for(DeviceKind.CPU), CPUBackend)
+        assert isinstance(provider_for(DeviceKind.GPU), GPUBackend)
+
+    def test_generated_filter_project_is_correct(self):
+        backend = CPUBackend()
+        kernel = backend.compile_filter_project(
+            "pipe0", predicate=col("v") > lit(2.0),
+            projections={"v2": col("v") * lit(10.0)})
+        out = kernel({"v": np.asarray([1.0, 2.0, 3.0, 4.0])})
+        assert out["v2"].tolist() == [30.0, 40.0]
+        assert "def pipe0" in kernel.source
+        assert "CPU pipeline" in kernel.source
+
+    def test_gpu_backend_emits_atomics(self):
+        backend = GPUBackend()
+        source = backend.generate_aggregate_update(
+            "agg0", aggregates=[agg_sum(col("v"), "s")])
+        assert "_atomic_add" in source
+        cpu_source = CPUBackend().generate_aggregate_update(
+            "agg0", aggregates=[agg_sum(col("v"), "s")])
+        assert "_atomic_add" not in cpu_source
+
+    def test_gpu_kernel_compiles_and_runs(self):
+        backend = GPUBackend()
+        source = backend.generate_aggregate_update(
+            "agg0", aggregates=[agg_sum(col("v"), "s")])
+        kernel = backend.compile("agg0", source)
+        state = kernel.function({"v": np.asarray([1.0, 2.0])}, {"s": 0.0})
+        assert state["s"] == pytest.approx(3.0)
+
+    def test_backends_generate_different_source(self):
+        cpu_src = CPUBackend().generate_filter_project(
+            "p", predicate=None, projections={"x": col("x")})
+        gpu_src = GPUBackend().generate_filter_project(
+            "p", predicate=None, projections={"x": col("x")})
+        assert cpu_src != gpu_src
