@@ -1,0 +1,17 @@
+PYTHON ?= python
+export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
+
+.PHONY: test bench bench-full
+
+## Tier-1 test suite (what CI runs).
+test:
+	$(PYTHON) -m pytest -x -q
+
+## Quick benchmark pass: fig5-fig9 sweeps + TPC-H execution suite,
+## appending wall-clock and simulated seconds to BENCH_results.json.
+bench:
+	$(PYTHON) benchmarks/run_benchmarks.py --sf 0.05 --repeat 3
+
+## Larger TPC-H scale factor for more stable wall-clock numbers.
+bench-full:
+	$(PYTHON) benchmarks/run_benchmarks.py --sf 0.1 --repeat 5

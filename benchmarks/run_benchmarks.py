@@ -1,0 +1,236 @@
+#!/usr/bin/env python
+"""Run every benchmark suite and record the perf trajectory.
+
+Executes the fig5-fig9 paper-scale sweeps plus the TPC-H execution suite
+(all evaluated queries in cpu / hybrid / gpu mode on a generated dataset),
+measuring *wall-clock* seconds for each suite and capturing the *simulated*
+seconds the figures report.  Results are appended to ``BENCH_results.json``
+at the repository root so successive PRs can compare:
+
+* wall-clock — the efficiency of the library itself (the single-evaluation
+  kernel refactor shows up here), and
+* simulated seconds — the model outputs, which must stay stable unless a
+  PR deliberately changes cost accounting.
+
+Usage::
+
+    python benchmarks/run_benchmarks.py [--sf 0.05] [--repeat 3]
+        [--output BENCH_results.json]
+
+Wall-clock numbers are the best of ``--repeat`` runs (data generation and
+model construction excluded).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+_REPO = Path(__file__).resolve().parent.parent
+if str(_REPO / "src") not in sys.path:
+    sys.path.insert(0, str(_REPO / "src"))
+
+from repro.engine import HAPEEngine  # noqa: E402
+from repro.hardware import default_server  # noqa: E402
+from repro.perf import JoinModels, TPCHModels  # noqa: E402
+from repro.storage import generate_tpch  # noqa: E402
+from repro.workloads import (  # noqa: E402
+    all_queries,
+    run_all_variants,
+    run_coprocessed_join,
+)
+
+MODES = ("cpu", "hybrid", "gpu")
+
+
+def _best_wall(repeat: int, run) -> tuple[float, object]:
+    """Best-of-``repeat`` wall-clock seconds plus the last return value."""
+    best = float("inf")
+    value = None
+    for _ in range(max(repeat, 1)):
+        start = time.perf_counter()
+        value = run()
+        best = min(best, time.perf_counter() - start)
+    return best, value
+
+
+def suite_tpch(args: argparse.Namespace, topology) -> dict:
+    """The TPC-H execution suite: every query in every mode."""
+    dataset = generate_tpch(args.sf, seed=args.seed)
+    engine = HAPEEngine(topology)
+    engine.register_dataset(dataset.tables, replace=True)
+    queries = all_queries(dataset)
+
+    def run():
+        simulated = {}
+        for name, query in queries.items():
+            for mode in MODES:
+                result = engine.execute(query.plan, mode)
+                simulated[f"{name}/{mode}"] = result.simulated_seconds
+        return simulated
+
+    wall, simulated = _best_wall(args.repeat, run)
+    return {
+        "scale_factor": args.sf,
+        "wall_clock_seconds": wall,
+        "simulated_seconds": simulated,
+    }
+
+
+def suite_fig5(args: argparse.Namespace, join_models: JoinModels) -> dict:
+    wall, series = _best_wall(args.repeat, join_models.figure5_series)
+    return {
+        "wall_clock_seconds": wall,
+        "simulated_seconds": {
+            variant: {str(size): seconds for size, seconds in points}
+            for variant, points in series.items()
+        },
+    }
+
+
+def suite_fig6(args: argparse.Namespace, join_models: JoinModels,
+               topology) -> dict:
+    wall_model, series = _best_wall(args.repeat, join_models.figure6_series)
+    wall_exec, runs = _best_wall(
+        args.repeat, lambda: run_all_variants(200_000, topology=topology))
+    return {
+        "wall_clock_seconds_model": wall_model,
+        "wall_clock_seconds_execution": wall_exec,
+        "simulated_seconds_model": {
+            variant: {str(point.tuples_per_side): point.seconds
+                      for point in points}
+            for variant, points in series.items()
+        },
+        "simulated_seconds_execution": {
+            variant: run.simulated_seconds for variant, run in runs.items()
+        },
+    }
+
+
+def suite_fig7(args: argparse.Namespace, join_models: JoinModels,
+               topology) -> dict:
+    wall_model, series = _best_wall(args.repeat, join_models.figure7_series)
+
+    def run_execution():
+        return {
+            num_gpus: run_coprocessed_join(300_000, num_gpus=num_gpus,
+                                           topology=topology)
+            for num_gpus in (1, 2)
+        }
+
+    wall_exec, runs = _best_wall(args.repeat, run_execution)
+    return {
+        "wall_clock_seconds_model": wall_model,
+        "wall_clock_seconds_execution": wall_exec,
+        "simulated_seconds_model": {
+            variant: {str(point.tuples_per_side): point.seconds
+                      for point in points}
+            for variant, points in series.items()
+        },
+        "simulated_seconds_execution": {
+            f"{num_gpus}gpu": run.simulated_seconds
+            for num_gpus, run in runs.items()
+        },
+    }
+
+
+def suite_fig8(args: argparse.Namespace, tpch_models: TPCHModels) -> dict:
+    wall, figure = _best_wall(args.repeat, tpch_models.figure8)
+    return {
+        "wall_clock_seconds": wall,
+        "simulated_seconds": {
+            query: {estimate.system: estimate.seconds
+                    for estimate in estimates}
+            for query, estimates in figure.items()
+        },
+    }
+
+
+def suite_fig9(args: argparse.Namespace, tpch_models: TPCHModels) -> dict:
+    wall, figure = _best_wall(args.repeat, tpch_models.figure9)
+    return {
+        "wall_clock_seconds": wall,
+        "simulated_seconds": {
+            config: dict(variants) for config, variants in figure.items()
+        },
+    }
+
+
+def _git_revision() -> str | None:
+    try:
+        return subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"], cwd=_REPO,
+            capture_output=True, text=True, check=True,
+        ).stdout.strip()
+    except (OSError, subprocess.CalledProcessError):
+        return None
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--sf", type=float, default=0.05,
+                        help="TPC-H scale factor for the execution suite")
+    parser.add_argument("--seed", type=int, default=2019)
+    parser.add_argument("--repeat", type=int, default=3,
+                        help="wall-clock measurements take the best of N runs")
+    parser.add_argument("--output", type=Path,
+                        default=_REPO / "BENCH_results.json")
+    parser.add_argument("--suites", nargs="*",
+                        default=["fig5", "fig6", "fig7", "fig8", "fig9",
+                                 "tpch"],
+                        help="subset of suites to run")
+    args = parser.parse_args(argv)
+
+    topology = default_server()
+    join_models = JoinModels(topology)
+    tpch_models = TPCHModels(topology)
+
+    runners = {
+        "fig5": lambda: suite_fig5(args, join_models),
+        "fig6": lambda: suite_fig6(args, join_models, topology),
+        "fig7": lambda: suite_fig7(args, join_models, topology),
+        "fig8": lambda: suite_fig8(args, tpch_models),
+        "fig9": lambda: suite_fig9(args, tpch_models),
+        "tpch": lambda: suite_tpch(args, topology),
+    }
+    suites = {}
+    for name in args.suites:
+        if name not in runners:
+            parser.error(f"unknown suite {name!r}; "
+                         f"choose from {sorted(runners)}")
+        print(f"running suite {name} ...", flush=True)
+        suites[name] = runners[name]()
+        wall_keys = [key for key in suites[name] if key.startswith("wall")]
+        summary = ", ".join(f"{key}={suites[name][key]:.3f}s"
+                            for key in wall_keys)
+        print(f"  {summary}")
+
+    run_record = {
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "git_revision": _git_revision(),
+        "python": platform.python_version(),
+        "args": {"sf": args.sf, "seed": args.seed, "repeat": args.repeat},
+        "suites": suites,
+    }
+
+    history: dict = {"runs": []}
+    if args.output.exists():
+        try:
+            history = json.loads(args.output.read_text())
+        except (json.JSONDecodeError, OSError):
+            history = {"runs": []}
+        if "runs" not in history:
+            history = {"runs": []}
+    history["runs"].append(run_record)
+    args.output.write_text(json.dumps(history, indent=2) + "\n")
+    print(f"wrote {args.output} ({len(history['runs'])} run(s) recorded)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,18 +1,27 @@
 """Executor: runs physical plans on the simulated heterogeneous server.
 
 The executor interprets the trait-annotated physical DAG produced by the
-optimizer.  Functional results are computed with the executable operators of
-:mod:`repro.operators`; simulated time is produced by list-scheduling each
-operator's cost onto the clocks of the devices its traits (and the routers
-feeding it) designate, and every cross-device byte is charged to the
-interconnect link it crosses.  The makespan of the resulting timeline is the
-"execution time" the evaluation figures report.
+optimizer.  Functional results are computed with the executable operator
+*kernels* of :mod:`repro.operators` — exactly once per plan node — while the
+per-device ``estimate_*`` cost functions price the same work on every
+device kind that participates; simulated time is produced by
+list-scheduling those costs onto the clocks of the devices the traits (and
+the routers feeding an operator) designate, and every cross-device byte is
+charged to the interconnect link it crosses.  The makespan of the resulting
+timeline is the "execution time" the evaluation figures report.
+
+Because kernels are device-invariant, their results are additionally
+memoized by the structural key of the subplan that produced them: a
+repeated subplan (the same dimension scan or build side appearing under
+several operators) is evaluated functionally once per
+:meth:`Executor.execute` call, while its cost is still charged per
+occurrence — simulated timings are unaffected by the memoization.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Sequence
+from typing import Callable, Sequence, TypeVar
 
 import numpy as np
 
@@ -20,13 +29,31 @@ from ..errors import ExecutionError, OutOfDeviceMemoryError
 from ..hardware.device import Device
 from ..hardware.specs import DeviceKind
 from ..hardware.topology import Topology
-from ..operators.aggregate import hash_aggregate, merge_partials
+from ..operators.aggregate import (
+    estimate_hash_aggregate,
+    estimate_merge_partials,
+    hash_aggregate_kernel,
+    merge_partials_kernel,
+)
 from ..operators.base import ArrayMap, OpCost, columns_nbytes, columns_num_rows
 from ..operators.coprocess import coprocessed_radix_join
-from ..operators.filterproject import apply_filter_project
-from ..operators.gpujoin import gpu_partitioned_join
-from ..operators.hashjoin import build_table_bytes, non_partitioned_join
-from ..operators.radix import cpu_radix_join
+from ..operators.filterproject import estimate_filter_project, filter_project_kernel
+from ..operators.gpujoin import (
+    ensure_gpu_join_fits,
+    estimate_gpu_partitioned_join,
+    gpu_partitioned_join_kernel,
+)
+from ..operators.hashjoin import (
+    build_table_bytes,
+    estimate_non_partitioned_join,
+    hash_join_kernel,
+)
+from ..operators.radix import (
+    cpu_radix_join_kernel,
+    estimate_cpu_radix_join,
+    max_fanout,
+    target_partition_bytes,
+)
 from ..relational.physical import (
     DeviceCrossing,
     JoinAlgorithm,
@@ -38,10 +65,13 @@ from ..relational.physical import (
     PScan,
     PSort,
     Router,
+    structural_key,
 )
 from ..storage.catalog import Catalog
 from ..storage.column import Column
 from ..storage.table import Table
+
+_KernelResult = TypeVar("_KernelResult")
 
 
 @dataclass(frozen=True)
@@ -65,6 +95,11 @@ class NodeResult:
     ready: float
     location: str
     devices: list[Device] = field(default_factory=list)
+    #: Device-spec-derived tuning knobs baked into the row order of this
+    #: subtree's columns (partition plans of radix joins).  Parents fold the
+    #: tag into their kernel memo key so two structurally equal subplans
+    #: only share an evaluation when their row order provably matches.
+    kernel_tag: tuple = ()
 
     @property
     def nbytes(self) -> int:
@@ -99,12 +134,25 @@ class Executor:
         self.topology = topology
         self.catalog = catalog
         self.options = options or ExecutorOptions()
+        self._kernel_memo: dict[tuple, dict[object, object]] = {}
+        self._key_cache: dict[int, tuple] = {}
+        self._key_refs: dict[tuple, int] = {}
 
     # ------------------------------------------------------------------
     def execute(self, plan: PhysicalOp) -> ExecutionResult:
         """Run a physical plan and report result plus simulated timing."""
         self.topology.reset()
-        result = self._execute(plan)
+        self._kernel_memo = {}
+        self._key_cache = {}
+        self._key_refs = self._count_kernel_occurrences(plan)
+        try:
+            result = self._execute(plan)
+        finally:
+            # Entries are evicted after their last structural occurrence;
+            # clear the rest so idle engines pin no intermediate columns.
+            self._kernel_memo = {}
+            self._key_cache = {}
+            self._key_refs = {}
         timeline = self.topology.timeline()
         makespan = max(timeline.makespan, result.ready)
         table = Table("result", [Column(name, values)
@@ -122,6 +170,59 @@ class Executor:
     # ------------------------------------------------------------------
     # Helpers
     # ------------------------------------------------------------------
+    def _memoized_kernel(self, node: PhysicalOp,
+                         run: Callable[[], _KernelResult],
+                         tuning: object = None) -> _KernelResult:
+        """Evaluate a functional kernel at most once per distinct subplan.
+
+        Keyed by the structural key of the subtree rooted at ``node``, so a
+        repeated subplan reuses the columns (and stats) of its first
+        evaluation.  Costing happens outside this cache, per occurrence.
+
+        ``tuning`` must identify any device-spec-derived knobs the kernel
+        bakes into its result or inherits from its inputs (partition plans
+        of the radix joins, via :attr:`NodeResult.kernel_tag`): two
+        occurrences only share an evaluation when their tuning matches,
+        keeping per-occurrence cost replays and row orders exact.
+
+        An entry is evicted right after its *last* structural occurrence in
+        the plan so the memo only pins intermediates that can still be
+        reused, not every intermediate of the query.
+        """
+        key = structural_key(node, self._key_cache)
+        variants = self._kernel_memo.setdefault(key, {})
+        result = variants.get(tuning)
+        if result is None:
+            result = run()
+            variants[tuning] = result
+        remaining = self._key_refs.get(key, 0) - 1
+        if remaining <= 0:
+            self._kernel_memo.pop(key, None)
+            self._key_refs.pop(key, None)
+        else:
+            self._key_refs[key] = remaining
+        return result  # type: ignore[return-value]
+
+    def _count_kernel_occurrences(self, plan: PhysicalOp) -> dict[tuple, int]:
+        """Occurrences per structural key of every node the memo serves."""
+        refs: dict[tuple, int] = {}
+        for node in plan.walk():
+            if isinstance(node, (PScan, PFilterProject, PAggregate)) or (
+                    isinstance(node, PJoin)
+                    and node.algorithm is not JoinAlgorithm.COPROCESSED_RADIX):
+                key = structural_key(node, self._key_cache)
+                refs[key] = refs.get(key, 0) + 1
+        return refs
+
+    @staticmethod
+    def _partition_tuning(spec) -> tuple:
+        """The spec values that shape a partitioned join's pass structure.
+
+        Two same-model devices share these values (and therefore kernel
+        evaluations) even though their spec objects differ.
+        """
+        return (spec.kind.value, max_fanout(spec), target_partition_bytes(spec))
+
     def _default_devices(self) -> list[Device]:
         return [self.topology.cpus()[0]]
 
@@ -204,7 +305,8 @@ class Executor:
     def _execute_scan(self, node: PScan) -> NodeResult:
         table = self.catalog.table(node.table)
         names = node.columns if node.columns else table.column_names
-        columns = {name: table.array(name) for name in names}
+        columns = self._memoized_kernel(
+            node, lambda: {name: table.array(name) for name in names})
         return NodeResult(columns=columns, ready=0.0, location=table.location,
                           devices=self._default_devices())
 
@@ -220,7 +322,8 @@ class Executor:
         record = cpu.charge(1e-6 * max(len(devices), 1), earliest=child.ready,
                             label="router")
         return NodeResult(columns=child.columns, ready=record.end,
-                          location=child.location, devices=devices)
+                          location=child.location, devices=devices,
+                          kernel_tag=child.kernel_tag)
 
     def _execute_memmove(self, node: MemMove) -> NodeResult:
         child = self._execute(node.child)
@@ -244,7 +347,8 @@ class Executor:
         location = (destinations[0] if len(destinations) == 1
                     else "distributed:" + ",".join(destinations))
         return NodeResult(columns=child.columns, ready=ready,
-                          location=location, devices=child.devices)
+                          location=location, devices=child.devices,
+                          kernel_tag=child.kernel_tag)
 
     def _execute_crossing(self, node: DeviceCrossing) -> NodeResult:
         child = self._execute(node.child)
@@ -259,63 +363,79 @@ class Executor:
                                    earliest=child.ready, label="device-crossing")
             ready = max(ready, record.end)
         return NodeResult(columns=child.columns, ready=ready,
-                          location=child.location, devices=targets)
+                          location=child.location, devices=targets,
+                          kernel_tag=child.kernel_tag)
 
     def _execute_filter_project(self, node: PFilterProject) -> NodeResult:
         child = self._execute(node.child)
         devices = child.devices or self._default_devices()
-        cost_by_kind: dict[DeviceKind, OpCost] = {}
-        output = None
-        for kind in {device.kind for device in devices}:
-            representative = self._representative(devices, kind)
-            result = apply_filter_project(
-                child.columns, representative,
+        # The functional kernel is device-invariant: run it once and price
+        # the identical work per participating device kind.
+        columns, stats = self._memoized_kernel(
+            node, lambda: filter_project_kernel(
+                child.columns, predicate=node.predicate,
+                projections=node.projections),
+            tuning=child.kernel_tag)
+        cost_by_kind: dict[DeviceKind, OpCost] = {
+            kind: estimate_filter_project(
+                stats, self._representative(devices, kind),
                 predicate=node.predicate, projections=node.projections)
-            cost_by_kind[kind] = result.cost
-            if output is None or representative.is_cpu:
-                output = result
+            for kind in {device.kind for device in devices}
+        }
         fractions = self._split_fractions(devices, child.location)
         ready = self._charge_parallel(
             devices, cost_by_kind, fractions, earliest=child.ready,
             input_bytes=child.nbytes, data_location=child.location,
             label="filter-project")
-        return NodeResult(columns=output.columns, ready=ready,
-                          location=child.location, devices=devices)
+        return NodeResult(columns=columns, ready=ready,
+                          location=child.location, devices=devices,
+                          kernel_tag=child.kernel_tag)
 
     def _execute_aggregate(self, node: PAggregate) -> NodeResult:
         child = self._execute(node.child)
         if node.phase == "partial":
             devices = child.devices or self._default_devices()
-            cost_by_kind: dict[DeviceKind, OpCost] = {}
-            output = None
-            for kind in {device.kind for device in devices}:
-                representative = self._representative(devices, kind)
-                result = hash_aggregate(
-                    child.columns, representative, group_by=node.group_by,
-                    aggregates=node.aggregates, phase="partial")
-                cost_by_kind[kind] = result.cost
-                if output is None or representative.is_cpu:
-                    output = result
+            columns, stats = self._memoized_kernel(
+                node, lambda: hash_aggregate_kernel(
+                    child.columns, group_by=node.group_by,
+                    aggregates=node.aggregates, phase="partial"),
+                tuning=child.kernel_tag)
+            cost_by_kind: dict[DeviceKind, OpCost] = {
+                kind: estimate_hash_aggregate(
+                    stats, self._representative(devices, kind),
+                    aggregates=node.aggregates)
+                for kind in {device.kind for device in devices}
+            }
             fractions = self._split_fractions(devices, child.location)
             ready = self._charge_parallel(
                 devices, cost_by_kind, fractions, earliest=child.ready,
                 input_bytes=child.nbytes, data_location=child.location,
                 label="aggregate-partial")
-            return NodeResult(columns=output.columns, ready=ready,
-                              location=child.location, devices=devices)
+            return NodeResult(columns=columns, ready=ready,
+                              location=child.location, devices=devices,
+                              kernel_tag=child.kernel_tag)
         # Final (or complete) aggregation runs on cpu0 over the partials.
         cpu = self.topology.cpus()[0]
         if node.phase == "final":
-            result = merge_partials([child.columns], cpu,
-                                    group_by=node.group_by,
-                                    aggregates=node.aggregates)
+            columns, merged_nbytes = self._memoized_kernel(
+                node, lambda: merge_partials_kernel(
+                    [child.columns], group_by=node.group_by,
+                    aggregates=node.aggregates),
+                tuning=child.kernel_tag)
+            cost = estimate_merge_partials(merged_nbytes, cpu)
         else:
-            result = hash_aggregate(child.columns, cpu, group_by=node.group_by,
-                                    aggregates=node.aggregates, phase="complete")
-        record = cpu.charge(result.cost.seconds, earliest=child.ready,
+            columns, stats = self._memoized_kernel(
+                node, lambda: hash_aggregate_kernel(
+                    child.columns, group_by=node.group_by,
+                    aggregates=node.aggregates, phase="complete"),
+                tuning=child.kernel_tag)
+            cost = estimate_hash_aggregate(stats, cpu,
+                                           aggregates=node.aggregates)
+        record = cpu.charge(cost.seconds, earliest=child.ready,
                             label=f"aggregate-{node.phase}")
-        return NodeResult(columns=result.columns, ready=record.end,
-                          location=cpu.name, devices=[cpu])
+        return NodeResult(columns=columns, ready=record.end,
+                          location=cpu.name, devices=[cpu],
+                          kernel_tag=child.kernel_tag)
 
     def _execute_sort(self, node: PSort) -> NodeResult:
         child = self._execute(node.child)
@@ -327,7 +447,8 @@ class Executor:
         record = cpu.charge(cpu.cost.seq_scan(child.nbytes) * 2,
                             earliest=child.ready, label="sort")
         return NodeResult(columns=columns, ready=record.end,
-                          location=cpu.name, devices=[cpu])
+                          location=cpu.name, devices=[cpu],
+                          kernel_tag=child.kernel_tag)
 
     # ------------------------------------------------------------------
     # Joins
@@ -344,58 +465,82 @@ class Executor:
         if node.algorithm is JoinAlgorithm.RADIX_CPU:
             cpus = [device for device in devices if device.is_cpu] \
                 or list(self.topology.cpus())
-            result = cpu_radix_join(build.columns, probe.columns, cpus[0],
-                                    build_keys=node.build_keys,
-                                    probe_keys=node.probe_keys)
+            tuning = self._partition_tuning(cpus[0].spec)
+            tag = build.kernel_tag + probe.kernel_tag + (("radix", tuning),)
+            columns, stats = self._memoized_kernel(
+                node, lambda: cpu_radix_join_kernel(
+                    build.columns, probe.columns,
+                    build_keys=node.build_keys, probe_keys=node.probe_keys,
+                    spec=cpus[0].spec),
+                tuning=tag)
+            cost = estimate_cpu_radix_join(stats, cpus[0])
             ready = self._charge_parallel(
-                cpus, {DeviceKind.CPU: result.cost},
+                cpus, {DeviceKind.CPU: cost},
                 self._split_fractions(cpus, probe.location),
                 earliest=earliest, input_bytes=probe.nbytes,
                 data_location=probe.location, label="radix-join-cpu")
-            return NodeResult(columns=result.columns, ready=ready,
-                              location=cpus[0].name, devices=cpus)
+            return NodeResult(columns=columns, ready=ready,
+                              location=cpus[0].name, devices=cpus,
+                              kernel_tag=tag)
 
         if node.algorithm is JoinAlgorithm.RADIX_GPU:
             gpus = [device for device in devices if device.is_gpu] \
                 or list(self.topology.gpus())
             ready_build = self._broadcast_build(build, gpus, earliest)
-            result = gpu_partitioned_join(
-                build.columns, probe.columns, gpus[0],
-                build_keys=node.build_keys, probe_keys=node.probe_keys,
-                enforce_memory=self.options.enforce_gpu_memory)
+            if self.options.enforce_gpu_memory:
+                ensure_gpu_join_fits(build.columns, probe.columns, gpus[0])
+            tuning = self._partition_tuning(gpus[0].spec)
+            tag = build.kernel_tag + probe.kernel_tag + (("radix", tuning),)
+            columns, stats = self._memoized_kernel(
+                node, lambda: gpu_partitioned_join_kernel(
+                    build.columns, probe.columns,
+                    build_keys=node.build_keys, probe_keys=node.probe_keys,
+                    spec=gpus[0].spec),
+                tuning=tag)
+            cost = estimate_gpu_partitioned_join(stats, gpus[0])
             ready = self._charge_parallel(
-                gpus, {DeviceKind.GPU: result.cost},
+                gpus, {DeviceKind.GPU: cost},
                 self._split_fractions(gpus, probe.location),
                 earliest=ready_build, input_bytes=probe.nbytes,
                 data_location=probe.location, label="radix-join-gpu")
-            return NodeResult(columns=result.columns, ready=ready,
-                              location=gpus[0].name, devices=devices)
+            return NodeResult(columns=columns, ready=ready,
+                              location=gpus[0].name, devices=devices,
+                              kernel_tag=tag)
 
-        # Non-partitioned hash join on whatever devices the probe pipeline uses.
+        # Non-partitioned hash join on whatever devices the probe pipeline
+        # uses: one functional evaluation, one cost estimate per device kind.
         ready_build = self._broadcast_build(
             build, [device for device in devices if device.is_gpu], earliest)
-        cost_by_kind: dict[DeviceKind, OpCost] = {}
-        output = None
-        for kind in {device.kind for device in devices}:
+        kinds = {device.kind for device in devices}
+        # Check GPU capacity for the build hash table before evaluating the
+        # join, so an oversized build (the Q9 failure mode) raises without
+        # materializing the full result first.
+        for kind in kinds:
             representative = self._representative(devices, kind)
             if (representative.is_gpu and self.options.enforce_gpu_memory):
                 table_bytes = build_table_bytes(build.num_rows)
                 allocation = representative.allocate(table_bytes,
                                                      label="join hash table")
                 allocation.free()
-            result = non_partitioned_join(
-                build.columns, probe.columns, representative,
-                build_keys=node.build_keys, probe_keys=node.probe_keys)
-            cost_by_kind[kind] = result.cost
-            if output is None or representative.is_cpu:
-                output = result
+        join_tag = build.kernel_tag + probe.kernel_tag
+        columns, stats = self._memoized_kernel(
+            node, lambda: hash_join_kernel(
+                build.columns, probe.columns,
+                build_keys=node.build_keys, probe_keys=node.probe_keys),
+            tuning=join_tag)
+        cost_by_kind: dict[DeviceKind, OpCost] = {
+            kind: estimate_non_partitioned_join(
+                stats, self._representative(devices, kind))
+            for kind in kinds
+        }
         fractions = self._split_fractions(devices, probe.location)
         ready = self._charge_parallel(
             devices, cost_by_kind, fractions, earliest=max(earliest, ready_build),
             input_bytes=probe.nbytes, data_location=probe.location,
             label="hash-join", join_shuffle=True)
-        return NodeResult(columns=output.columns, ready=ready,
-                          location=probe.location, devices=devices)
+        return NodeResult(columns=columns, ready=ready,
+                          location=probe.location, devices=devices,
+                          kernel_tag=join_tag)
 
     def _broadcast_build(self, build: NodeResult, gpus: Sequence[Device],
                          earliest: float) -> float:
@@ -423,5 +568,10 @@ class Executor:
             cpu=cpu, gpus=gpus)
         ready = max(earliest,
                     max(device.clock.available_at for device in [cpu, *gpus]))
+        coproc_tag = build.kernel_tag + probe.kernel_tag + (
+            ("coprocessed",
+             tuple(self._partition_tuning(gpu.spec) for gpu in gpus),
+             tuple(gpu.spec.memory_capacity_bytes for gpu in gpus)),)
         return NodeResult(columns=result.columns, ready=ready,
-                          location=cpu.name, devices=[cpu, *gpus])
+                          location=cpu.name, devices=[cpu, *gpus],
+                          kernel_tag=coproc_tag)

@@ -6,10 +6,17 @@ and Section 5's horizontal co-processing): every device instance builds a
 instance merges the partials.  Partial hash tables are small (one entry per
 group), so the random accesses they incur land in cache/scratchpad; the cost
 model reflects that.
+
+Following the single-evaluation operator contract (see
+:mod:`repro.operators`), the functional work lives in
+:func:`hash_aggregate_kernel` / :func:`merge_partials_kernel` while
+:func:`estimate_hash_aggregate` / :func:`estimate_merge_partials` cost the
+same work on any device from an :class:`AggregateStats` record alone.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Mapping, Sequence
 
 import numpy as np
@@ -17,22 +24,26 @@ import numpy as np
 from ..hardware.costmodel import AccessProfile
 from ..hardware.device import Device
 from ..relational.expr import AggregateSpec
-from .base import ArrayMap, OpCost, OpOutput, columns_num_rows
+from ..relational.keys import composite_key_map
+from .base import (
+    ArrayMap,
+    OpCost,
+    OpOutput,
+    columns_num_rows,
+    record_kernel_invocation,
+)
 from .filterproject import compute_ops_per_sec, expression_op_count
 
 #: Bytes per hash-table entry per aggregate (key + running value).
 _ENTRY_BYTES = 16
 
 
-def _composite_keys(columns: Mapping[str, np.ndarray],
-                    group_by: Sequence[str]) -> np.ndarray:
-    """Combine the group-by columns into a single int64 grouping key."""
-    if not group_by:
-        return np.zeros(columns_num_rows(columns), dtype=np.int64)
-    combined = np.zeros(columns_num_rows(columns), dtype=np.int64)
-    for name in group_by:
-        combined = combined * 1_000_003 + np.asarray(columns[name], dtype=np.int64)
-    return combined
+@dataclass(frozen=True)
+class AggregateStats:
+    """Data-derived quantities the aggregation cost estimator needs."""
+
+    num_rows: int
+    num_groups: int
 
 
 def _aggregate_target(device: Device, table_bytes: int) -> str:
@@ -49,47 +60,57 @@ def _aggregate_target(device: Device, table_bytes: int) -> str:
     return "memory"
 
 
-def hash_aggregate(columns: Mapping[str, np.ndarray], device: Device, *,
-                   group_by: Sequence[str],
-                   aggregates: Sequence[AggregateSpec],
-                   phase: str = "complete") -> OpOutput:
-    """Aggregate one packet (or a concatenation of partials).
+def estimate_hash_aggregate(stats: AggregateStats, device: Device, *,
+                            aggregates: Sequence[AggregateSpec]) -> OpCost:
+    """Cost of one hash-aggregation pass on ``device``; no data touched.
+
+    Each input tuple performs one hash-table update (random access to a
+    table of ``num_groups`` entries) plus the per-aggregate arithmetic.
+    """
+    cost = OpCost()
+    num_groups = max(stats.num_groups, 1)
+    table_bytes = num_groups * _ENTRY_BYTES * max(len(aggregates), 1)
+    target = _aggregate_target(device, table_bytes)
+    if stats.num_rows:
+        cost.add(
+            f"agg-update[{target}]",
+            device.cost.random_access(
+                AccessProfile(stats.num_rows, _ENTRY_BYTES, table_bytes,
+                              write_fraction=1.0),
+                target=target,
+            ),
+        )
+        ops = sum(expression_op_count(spec.expr) + 2 for spec in aggregates)
+        cost.add("compute", stats.num_rows * ops / compute_ops_per_sec(device))
+        if device.is_gpu:
+            cost.add("atomics", device.cost.atomic_ops(stats.num_rows))
+            cost.add("kernel-launch", device.cost.kernel_launch())
+    return cost
+
+
+def hash_aggregate_kernel(
+        columns: Mapping[str, np.ndarray], *,
+        group_by: Sequence[str],
+        aggregates: Sequence[AggregateSpec],
+        phase: str = "complete",
+) -> tuple[ArrayMap, AggregateStats]:
+    """Aggregate one packet once; device-independent.
 
     ``phase`` only affects how ``avg`` is handled: partial aggregation keeps
     ``sum`` and ``count`` so that the final merge can recombine them; the
     reference output shape (one ``avg`` column) is produced by the final /
     complete phase.
     """
+    record_kernel_invocation("hash_aggregate")
     columns = {name: np.asarray(values) for name, values in columns.items()}
     num_rows = columns_num_rows(columns)
-    cost = OpCost()
 
-    group_keys = _composite_keys(columns, group_by)
+    group_keys = composite_key_map(columns, group_by, num_rows=num_rows)
     if num_rows:
         unique_keys, group_ids = np.unique(group_keys, return_inverse=True)
     else:
         unique_keys = np.asarray([], dtype=np.int64)
         group_ids = np.asarray([], dtype=np.int64)
-    num_groups = max(len(unique_keys), 1)
-
-    # Cost: each input tuple performs one hash-table update (random access to
-    # a table of num_groups entries) and the per-aggregate arithmetic.
-    table_bytes = num_groups * _ENTRY_BYTES * max(len(aggregates), 1)
-    target = _aggregate_target(device, table_bytes)
-    if num_rows:
-        cost.add(
-            f"agg-update[{target}]",
-            device.cost.random_access(
-                AccessProfile(num_rows, _ENTRY_BYTES, table_bytes,
-                              write_fraction=1.0),
-                target=target,
-            ),
-        )
-        ops = sum(expression_op_count(spec.expr) + 2 for spec in aggregates)
-        cost.add("compute", num_rows * ops / compute_ops_per_sec(device))
-        if device.is_gpu:
-            cost.add("atomics", device.cost.atomic_ops(num_rows))
-            cost.add("kernel-launch", device.cost.kernel_launch())
 
     result: ArrayMap = {}
     if num_rows:
@@ -106,6 +127,18 @@ def hash_aggregate(columns: Mapping[str, np.ndarray], device: Device, *,
     for spec in aggregates:
         result.update(_evaluate_aggregate(spec, columns, group_ids,
                                           len(unique_keys), counts, phase))
+    return result, AggregateStats(num_rows=num_rows,
+                                  num_groups=len(unique_keys))
+
+
+def hash_aggregate(columns: Mapping[str, np.ndarray], device: Device, *,
+                   group_by: Sequence[str],
+                   aggregates: Sequence[AggregateSpec],
+                   phase: str = "complete") -> OpOutput:
+    """Aggregate one packet on one device (kernel + cost in one)."""
+    result, stats = hash_aggregate_kernel(columns, group_by=group_by,
+                                          aggregates=aggregates, phase=phase)
+    cost = estimate_hash_aggregate(stats, device, aggregates=aggregates)
     return OpOutput(columns=result, cost=cost)
 
 
@@ -116,6 +149,10 @@ def _evaluate_aggregate(spec: AggregateSpec, columns: Mapping[str, np.ndarray],
         empty = np.asarray([], dtype=np.float64)
         if spec.func == "avg" and phase == "partial":
             return {f"{spec.alias}__sum": empty, f"{spec.alias}__count": empty}
+        if spec.func in ("count", "sum"):
+            # Match the reference executor: counts are int64, and
+            # np.bincount returns int64 for empty input even with weights.
+            return {spec.alias: np.asarray([], dtype=np.int64)}
         return {spec.alias: empty}
     if spec.func == "count":
         return {spec.alias: counts.astype(np.int64)}
@@ -137,25 +174,49 @@ def _evaluate_aggregate(spec: AggregateSpec, columns: Mapping[str, np.ndarray],
     return {spec.alias: out}
 
 
-def merge_partials(partials: Sequence[Mapping[str, np.ndarray]], device: Device, *,
-                   group_by: Sequence[str],
-                   aggregates: Sequence[AggregateSpec]) -> OpOutput:
-    """Merge per-device partial aggregates into the final result."""
+def estimate_merge_partials(nbytes: int, device: Device) -> OpCost:
+    """Cost of merging concatenated partials: one streaming pass."""
+    cost = OpCost()
+    cost.add("merge", device.cost.seq_scan(int(nbytes)))
+    return cost
+
+
+def merge_partials_kernel(
+        partials: Sequence[Mapping[str, np.ndarray]], *,
+        group_by: Sequence[str],
+        aggregates: Sequence[AggregateSpec],
+) -> tuple[ArrayMap, int]:
+    """Merge per-device partial aggregates once; returns (columns, nbytes).
+
+    ``nbytes`` is the concatenated partial payload the estimator charges a
+    streaming pass for.
+    """
+    record_kernel_invocation("merge_partials")
     non_empty = [dict(partial) for partial in partials
                  if columns_num_rows(partial)]
     if not non_empty:
-        return hash_aggregate({}, device, group_by=group_by,
-                              aggregates=aggregates, phase="final")
+        # Shape- and dtype-correct empty result (group-by columns keep the
+        # dtype the empty partials carry), built inline so the merge does
+        # not also count as a hash_aggregate kernel invocation.
+        template = dict(partials[0]) if partials else {}
+        columns: ArrayMap = {
+            name: np.asarray(template[name])[:0] if name in template
+            else np.asarray([])[:0]
+            for name in group_by
+        }
+        empty_ids = np.asarray([], dtype=np.int64)
+        for spec in aggregates:
+            columns.update(_evaluate_aggregate(
+                spec, {}, empty_ids, 0, empty_ids, "final"))
+        return columns, 0
     concatenated: ArrayMap = {
         name: np.concatenate([partial[name] for partial in non_empty])
         for name in non_empty[0]
     }
     num_rows = columns_num_rows(concatenated)
-    cost = OpCost()
-    cost.add("merge", device.cost.seq_scan(
-        int(sum(values.nbytes for values in concatenated.values()))))
+    nbytes = int(sum(values.nbytes for values in concatenated.values()))
 
-    group_keys = _composite_keys(concatenated, group_by)
+    group_keys = composite_key_map(concatenated, group_by, num_rows=num_rows)
     unique_keys, group_ids = np.unique(group_keys, return_inverse=True)
     representative = np.zeros(len(unique_keys), dtype=np.int64)
     representative[group_ids] = np.arange(num_rows)
@@ -187,4 +248,14 @@ def merge_partials(partials: Sequence[Mapping[str, np.ndarray]], device: Device,
             out = np.full(len(unique_keys), -np.inf)
             np.maximum.at(out, group_ids, concatenated[spec.alias])
             result[spec.alias] = out
-    return OpOutput(columns=result, cost=cost)
+    return result, nbytes
+
+
+def merge_partials(partials: Sequence[Mapping[str, np.ndarray]], device: Device, *,
+                   group_by: Sequence[str],
+                   aggregates: Sequence[AggregateSpec]) -> OpOutput:
+    """Merge per-device partial aggregates into the final result."""
+    columns, nbytes = merge_partials_kernel(partials, group_by=group_by,
+                                            aggregates=aggregates)
+    return OpOutput(columns=columns,
+                    cost=estimate_merge_partials(nbytes, device))

@@ -1,12 +1,28 @@
 """Shared infrastructure for executable operators.
 
-Operators are pure functions: they take NumPy column maps plus the
-:class:`~repro.hardware.device.Device` they are placed on, compute the real
-result, and return it together with the simulated cost they incurred.  They
-never touch device clocks themselves — the executor decides how costs map
-onto the timeline (sequential chains, parallel instances, overlapped
-transfers).  This separation keeps the operators unit-testable and lets the
-paper-scale analytic models reuse the exact same costing code.
+Every operator is split into two pure entry points that mirror the paper's
+device-invariant-skeleton / device-specific-knobs separation:
+
+* a **functional kernel** (``*_kernel``) that evaluates the NumPy result —
+  it never looks at a device and returns the output columns together with a
+  small *stats* record (row counts, touched bytes, per-pass partition
+  sizes) describing the work it performed, and
+* a **cost estimator** (``estimate_*``) that converts such a stats record
+  into an :class:`OpCost` for one device — it never touches array data, so
+  the executor can invoke it once per device kind while the kernel runs
+  exactly once per plan node.
+
+The classic combined functions (``apply_filter_project``,
+``non_partitioned_join``, ...) remain as thin wrappers that call the kernel
+and the estimator back to back.  Operators never touch device clocks
+themselves — the executor decides how costs map onto the timeline
+(sequential chains, parallel instances, overlapped transfers).  This
+separation keeps the operators unit-testable and lets the paper-scale
+analytic models reuse the exact same costing code.
+
+Kernels report each invocation through :func:`record_kernel_invocation`;
+the counters let tests assert that a plan node's functional work is
+evaluated exactly once regardless of how many device kinds cost it.
 """
 
 from __future__ import annotations
@@ -17,6 +33,25 @@ from typing import Mapping
 import numpy as np
 
 ArrayMap = dict[str, np.ndarray]
+
+#: Number of functional-kernel invocations per kernel name since the last
+#: :func:`reset_kernel_counts` call.  Cost estimators never show up here.
+_KERNEL_COUNTS: dict[str, int] = {}
+
+
+def record_kernel_invocation(name: str) -> None:
+    """Count one functional-kernel execution (for single-evaluation tests)."""
+    _KERNEL_COUNTS[name] = _KERNEL_COUNTS.get(name, 0) + 1
+
+
+def kernel_counts() -> dict[str, int]:
+    """Snapshot of the per-kernel invocation counters."""
+    return dict(_KERNEL_COUNTS)
+
+
+def reset_kernel_counts() -> None:
+    """Zero the per-kernel invocation counters."""
+    _KERNEL_COUNTS.clear()
 
 
 @dataclass

@@ -33,11 +33,25 @@ from ..errors import ExecutionError
 from ..hardware.device import Device
 from ..hardware.topology import Topology
 from ..storage.block import Block
-from .base import ArrayMap, OpCost, OpOutput, columns_num_rows
+from .base import (
+    ArrayMap,
+    OpCost,
+    OpOutput,
+    columns_num_rows,
+    record_kernel_invocation,
+)
 from .exchange import Router, zip_partitions
-from .gpujoin import GpuJoinConfig, gpu_partitioned_join
+from .gpujoin import (
+    GpuJoinConfig,
+    estimate_gpu_partitioned_join,
+    gpu_partitioned_join_kernel,
+)
 from .hashjoin import HASH_ENTRY_BYTES, composite_key
-from .radix import radix_partition
+from .radix import (
+    estimate_radix_partition,
+    partition_tuple_bytes,
+    radix_partition_kernel,
+)
 from ..relational.physical import RoutingPolicy
 
 
@@ -84,6 +98,7 @@ def coprocessed_radix_join(build: Mapping[str, np.ndarray],
     if not gpus:
         raise ExecutionError("co-processing requires at least one GPU")
     config = config or GpuJoinConfig()
+    record_kernel_invocation("coprocessed_radix_join")
 
     build = {name: np.asarray(values) for name, values in build.items()}
     probe = {name: np.asarray(values) for name, values in probe.items()}
@@ -91,15 +106,23 @@ def coprocessed_radix_join(build: Mapping[str, np.ndarray],
     probe = dict(probe, __key=composite_key(probe, probe_keys))
     build_rows = columns_num_rows(build)
     probe_rows = columns_num_rows(probe)
+    tuple_bytes = partition_tuple_bytes(build)
+    probe_tuple_bytes = partition_tuple_bytes(probe)
 
     plan = plan_coprocessing(max(build_rows, 1), max(probe_rows, 1),
                              HASH_ENTRY_BYTES, gpus)
 
     # 1. CPU-side low-fan-out co-partitioning, local to the input data.
-    build_parts, build_cost = radix_partition(build, cpu, key="__key",
-                                              fanout=plan.fanout)
-    probe_parts, probe_cost = radix_partition(probe, cpu, key="__key",
-                                              fanout=plan.fanout)
+    # The functional kernel runs once; the CPU cost is estimated separately
+    # from the pass shape (the single-evaluation operator contract).
+    build_parts = radix_partition_kernel(build, key="__key",
+                                         fanout=plan.fanout)
+    probe_parts = radix_partition_kernel(probe, key="__key",
+                                         fanout=plan.fanout)
+    build_cost = estimate_radix_partition(build_rows, tuple_bytes,
+                                          plan.fanout, cpu)
+    probe_cost = estimate_radix_partition(probe_rows, probe_tuple_bytes,
+                                          plan.fanout, cpu)
     partition_record = cpu.charge(build_cost.seconds + probe_cost.seconds,
                                   label="cpu-copartition")
     total_cost = OpCost().merge(build_cost).merge(probe_cost)
@@ -128,14 +151,15 @@ def coprocessed_radix_join(build: Mapping[str, np.ndarray],
         ready = route.transfer(pair_bytes, earliest=partition_record.end,
                                label=f"copartition->{gpu.name}")
         total_cost.add("pcie-transfer", route.transfer_time(pair_bytes))
-        result = gpu_partitioned_join(
-            build_block.columns, probe_block.columns, gpu,
-            build_keys=["__key"], probe_keys=["__key"],
-            config=config, enforce_memory=False)
-        gpu.charge(result.cost.seconds, earliest=ready,
+        result_columns, join_stats = gpu_partitioned_join_kernel(
+            build_block.columns, probe_block.columns,
+            build_keys=["__key"], probe_keys=["__key"], spec=gpu.spec)
+        join_cost = estimate_gpu_partitioned_join(join_stats, gpu,
+                                                  config=config)
+        gpu.charge(join_cost.seconds, earliest=ready,
                    label=f"gpu-join[p{build_block.partition}]")
-        total_cost.merge(result.cost)
-        columns = {name: values for name, values in result.columns.items()
+        total_cost.merge(join_cost)
+        columns = {name: values for name, values in result_columns.items()
                    if name != "__key"}
         outputs.append(columns)
 

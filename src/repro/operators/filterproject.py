@@ -13,9 +13,17 @@ from typing import Mapping
 
 import numpy as np
 
+from dataclasses import dataclass
+
 from ..hardware.device import Device
 from ..relational.expr import Expr
-from .base import ArrayMap, OpCost, OpOutput, columns_num_rows
+from .base import (
+    ArrayMap,
+    OpCost,
+    OpOutput,
+    columns_num_rows,
+    record_kernel_invocation,
+)
 
 #: Rough number of scalar operations one expression node costs per tuple.
 _OPS_PER_EXPR_NODE = 2.0
@@ -53,20 +61,27 @@ def scan_cost(device: Device, nbytes: int, *, parallelism: int = 1) -> OpCost:
     return cost
 
 
-def apply_filter_project(columns: Mapping[str, np.ndarray], device: Device, *,
-                         predicate: Expr | None = None,
-                         projections: Mapping[str, Expr] | None = None,
-                         charge_input_scan: bool = True) -> OpOutput:
-    """Filter and/or project one packet of columns.
+@dataclass(frozen=True)
+class FilterProjectStats:
+    """Data-derived quantities the cost estimator needs — no arrays."""
 
-    ``charge_input_scan=False`` is used when the input packet was just
-    produced by the previous operator of the same fused pipeline and is
-    therefore still register-/cache-resident (the JIT argument of
-    Section 2.2): only compute is charged, not another memory pass.
+    num_rows: int
+    touched_bytes: int
+
+
+def filter_project_kernel(
+        columns: Mapping[str, np.ndarray], *,
+        predicate: Expr | None = None,
+        projections: Mapping[str, Expr] | None = None,
+) -> tuple[ArrayMap, FilterProjectStats]:
+    """Evaluate the fused filter/project once; device-independent.
+
+    Returns the output columns plus the :class:`FilterProjectStats` that
+    :func:`estimate_filter_project` consumes to cost the pass on any device.
     """
+    record_kernel_invocation("filter_project")
     columns = {name: np.asarray(values) for name, values in columns.items()}
     num_rows = columns_num_rows(columns)
-    cost = OpCost()
 
     referenced: set[str] = set()
     if predicate is not None:
@@ -76,23 +91,9 @@ def apply_filter_project(columns: Mapping[str, np.ndarray], device: Device, *,
             referenced |= expr.columns()
     if not referenced:
         referenced = set(columns)
-
-    if charge_input_scan and num_rows:
-        touched = sum(
-            columns[name].nbytes for name in referenced if name in columns
-        )
-        cost.add("scan", device.cost.seq_scan(int(touched)))
-
-    ops_per_tuple = expression_op_count(predicate) * _OPS_PER_EXPR_NODE
-    if projections:
-        ops_per_tuple += sum(
-            expression_op_count(expr) * _OPS_PER_EXPR_NODE
-            for expr in projections.values()
-        )
-    if num_rows and ops_per_tuple:
-        cost.add("compute", num_rows * ops_per_tuple / compute_ops_per_sec(device))
-    if device.is_gpu:
-        cost.add("kernel-launch", device.cost.kernel_launch())
+    touched = sum(
+        columns[name].nbytes for name in referenced if name in columns
+    )
 
     working: ArrayMap = dict(columns)
     if predicate is not None and num_rows:
@@ -111,4 +112,51 @@ def apply_filter_project(columns: Mapping[str, np.ndarray], device: Device, *,
             projected[alias] = values
         working = projected
 
+    return working, FilterProjectStats(num_rows=num_rows,
+                                       touched_bytes=int(touched))
+
+
+def estimate_filter_project(stats: FilterProjectStats, device: Device, *,
+                            predicate: Expr | None = None,
+                            projections: Mapping[str, Expr] | None = None,
+                            charge_input_scan: bool = True) -> OpCost:
+    """Cost of one fused filter/project pass on ``device``; no data touched.
+
+    ``charge_input_scan=False`` is used when the input packet was just
+    produced by the previous operator of the same fused pipeline and is
+    therefore still register-/cache-resident (the JIT argument of
+    Section 2.2): only compute is charged, not another memory pass.
+    """
+    cost = OpCost()
+    if charge_input_scan and stats.num_rows:
+        cost.add("scan", device.cost.seq_scan(stats.touched_bytes))
+    ops_per_tuple = expression_op_count(predicate) * _OPS_PER_EXPR_NODE
+    if projections:
+        ops_per_tuple += sum(
+            expression_op_count(expr) * _OPS_PER_EXPR_NODE
+            for expr in projections.values()
+        )
+    if stats.num_rows and ops_per_tuple:
+        cost.add("compute",
+                 stats.num_rows * ops_per_tuple / compute_ops_per_sec(device))
+    if device.is_gpu:
+        cost.add("kernel-launch", device.cost.kernel_launch())
+    return cost
+
+
+def apply_filter_project(columns: Mapping[str, np.ndarray], device: Device, *,
+                         predicate: Expr | None = None,
+                         projections: Mapping[str, Expr] | None = None,
+                         charge_input_scan: bool = True) -> OpOutput:
+    """Filter and/or project one packet of columns (kernel + cost in one).
+
+    Thin wrapper over :func:`filter_project_kernel` +
+    :func:`estimate_filter_project` for callers that only place the operator
+    on a single device.
+    """
+    working, stats = filter_project_kernel(columns, predicate=predicate,
+                                           projections=projections)
+    cost = estimate_filter_project(stats, device, predicate=predicate,
+                                   projections=projections,
+                                   charge_input_scan=charge_input_scan)
     return OpOutput(columns=working, cost=cost)

@@ -24,10 +24,23 @@ import numpy as np
 from ..errors import ExecutionError
 from ..hardware.costmodel import AccessProfile
 from ..hardware.device import Device
-from .base import ArrayMap, OpCost, OpOutput, columns_num_rows
+from ..hardware.specs import DeviceSpec
+from .base import (
+    ArrayMap,
+    OpCost,
+    OpOutput,
+    columns_num_rows,
+    record_kernel_invocation,
+)
 from .filterproject import compute_ops_per_sec
 from .hashjoin import HASH_ENTRY_BYTES, composite_key, join_match_indices
-from .radix import PartitionPlan, partition_by_plan, plan_partition_passes
+from .radix import (
+    PartitionPlan,
+    PartitionRunStats,
+    estimate_partition_run,
+    partition_by_plan_kernel,
+    plan_partition_passes,
+)
 
 PROBE_VARIANTS = ("SM", "L1", "SM+L1")
 
@@ -129,51 +142,51 @@ def probe_phase_cost(device: Device, tuples_per_side: int,
     return cost
 
 
-def gpu_partitioned_join(build: Mapping[str, np.ndarray],
-                         probe: Mapping[str, np.ndarray],
-                         device: Device, *,
-                         build_keys: Sequence[str],
-                         probe_keys: Sequence[str],
-                         config: GpuJoinConfig | None = None,
-                         enforce_memory: bool = True) -> OpOutput:
-    """The full in-GPU partitioned join (partition passes + probe phase)."""
-    if not device.is_gpu:
-        raise ValueError("gpu_partitioned_join must be placed on a GPU device")
-    config = config or GpuJoinConfig()
+@dataclass(frozen=True)
+class GpuJoinStats:
+    """Data-derived quantities the GPU-join cost estimator needs."""
+
+    build_rows: int
+    probe_rows: int
+    input_nbytes: int
+    plan: PartitionPlan
+    build_run: PartitionRunStats
+    probe_run: PartitionRunStats
+    output_nbytes: int
+
+
+def gpu_partitioned_join_kernel(
+        build: Mapping[str, np.ndarray],
+        probe: Mapping[str, np.ndarray], *,
+        build_keys: Sequence[str],
+        probe_keys: Sequence[str],
+        spec: DeviceSpec,
+) -> tuple[ArrayMap, GpuJoinStats]:
+    """Evaluate the in-GPU partitioned join once.
+
+    ``spec`` only supplies the scratchpad-derived tuning knobs; the data
+    path itself is device-invariant.
+    """
+    record_kernel_invocation("gpu_partitioned_join")
     build = {name: np.asarray(values) for name, values in build.items()}
     probe = {name: np.asarray(values) for name, values in probe.items()}
     build = dict(build, __key=composite_key(build, build_keys))
     probe = dict(probe, __key=composite_key(probe, probe_keys))
     build_rows = columns_num_rows(build)
     probe_rows = columns_num_rows(probe)
-
     input_bytes = int(sum(v.nbytes for v in build.values())
                       + sum(v.nbytes for v in probe.values()))
-    if enforce_memory and not device.fits_in_memory(int(input_bytes * 2.5)):
-        raise ExecutionError(
-            f"GPU join inputs ({input_bytes} bytes plus intermediates) exceed "
-            f"the memory of {device.name}; use the co-processing join instead"
-        )
 
-    cost = OpCost()
-    plan = plan_partition_passes(max(build_rows, 1), HASH_ENTRY_BYTES,
-                                 device.spec)
-    build_parts, build_cost = partition_by_plan(build, device, key="__key",
-                                                plan=plan)
-    cost.merge(build_cost)
+    plan = plan_partition_passes(max(build_rows, 1), HASH_ENTRY_BYTES, spec)
+    build_parts, build_run = partition_by_plan_kernel(build, key="__key",
+                                                      plan=plan)
     probe_plan = PartitionPlan(
         device_kind=plan.device_kind, tuple_bytes=plan.tuple_bytes,
         input_tuples=max(probe_rows, 1),
         fanout_per_pass=plan.fanout_per_pass,
         target_partition_tuples=plan.target_partition_tuples)
-    probe_parts, probe_cost = partition_by_plan(probe, device, key="__key",
-                                                plan=probe_plan)
-    cost.merge(probe_cost)
-
-    partition_tuples = config.partition_tuples or max(
-        int(plan.final_partition_tuples), 1)
-    cost.merge(probe_phase_cost(device, max(probe_rows, 1), partition_tuples,
-                                variant=config.probe_variant))
+    probe_parts, probe_run = partition_by_plan_kernel(probe, key="__key",
+                                                      plan=probe_plan)
 
     outputs: list[ArrayMap] = []
     for build_part, probe_part in zip(build_parts, probe_parts):
@@ -197,6 +210,65 @@ def gpu_partitioned_join(build: Mapping[str, np.ndarray],
                    for name, values in build.items() if name != "__key"}
         columns.update({name: np.asarray(values)[:0]
                         for name, values in probe.items() if name != "__key"})
-    output = OpOutput(columns=columns, cost=cost)
-    cost.add("materialize-output", device.cost.seq_write(output.nbytes))
-    return output
+    stats = GpuJoinStats(
+        build_rows=build_rows, probe_rows=probe_rows,
+        input_nbytes=input_bytes, plan=plan,
+        build_run=build_run, probe_run=probe_run,
+        output_nbytes=int(sum(v.nbytes for v in columns.values())),
+    )
+    return columns, stats
+
+
+def ensure_gpu_join_fits(build: Mapping[str, np.ndarray],
+                         probe: Mapping[str, np.ndarray],
+                         device: Device) -> None:
+    """Raise before any join work when the inputs cannot fit in GPU memory.
+
+    The budget covers both inputs, their folded ``__key`` columns (8 bytes
+    per row and side) and a 2.5x allowance for partitions and hash tables.
+    """
+    input_bytes = int(
+        sum(np.asarray(v).nbytes for v in build.values())
+        + sum(np.asarray(v).nbytes for v in probe.values())
+        + 8 * (columns_num_rows(build) + columns_num_rows(probe)))
+    if not device.fits_in_memory(int(input_bytes * 2.5)):
+        raise ExecutionError(
+            f"GPU join inputs ({input_bytes} bytes plus intermediates) exceed "
+            f"the memory of {device.name}; use the co-processing join instead"
+        )
+
+
+def estimate_gpu_partitioned_join(stats: GpuJoinStats, device: Device, *,
+                                  config: GpuJoinConfig | None = None) -> OpCost:
+    """Cost of the scratchpad-conscious join on ``device``; no data touched."""
+    config = config or GpuJoinConfig()
+    cost = OpCost()
+    cost.merge(estimate_partition_run(stats.build_run, device))
+    cost.merge(estimate_partition_run(stats.probe_run, device))
+    partition_tuples = config.partition_tuples or max(
+        int(stats.plan.final_partition_tuples), 1)
+    cost.merge(probe_phase_cost(device, max(stats.probe_rows, 1),
+                                partition_tuples,
+                                variant=config.probe_variant))
+    cost.add("materialize-output", device.cost.seq_write(stats.output_nbytes))
+    return cost
+
+
+def gpu_partitioned_join(build: Mapping[str, np.ndarray],
+                         probe: Mapping[str, np.ndarray],
+                         device: Device, *,
+                         build_keys: Sequence[str],
+                         probe_keys: Sequence[str],
+                         config: GpuJoinConfig | None = None,
+                         enforce_memory: bool = True) -> OpOutput:
+    """The full in-GPU partitioned join (partition passes + probe phase)."""
+    if not device.is_gpu:
+        raise ValueError("gpu_partitioned_join must be placed on a GPU device")
+    config = config or GpuJoinConfig()
+    if enforce_memory:
+        ensure_gpu_join_fits(build, probe, device)
+    columns, stats = gpu_partitioned_join_kernel(
+        build, probe, build_keys=build_keys, probe_keys=probe_keys,
+        spec=device.spec)
+    cost = estimate_gpu_partitioned_join(stats, device, config=config)
+    return OpOutput(columns=columns, cost=cost)

@@ -6,17 +6,29 @@ probe-side tuple.  Both phases perform random accesses over a table that is
 usually far larger than any cache, so they over-fetch a full cache line /
 memory sector per access and suffer TLB misses — that is precisely the
 "random accesses are the main bottleneck" argument of Section 4.1.
+
+Following the single-evaluation operator contract (see
+:mod:`repro.operators`), :func:`hash_join_kernel` computes the join result
+once while :func:`estimate_non_partitioned_join` prices the same work on any
+device from a :class:`JoinStats` record alone.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Mapping, Sequence
 
 import numpy as np
 
-from ..hardware.costmodel import AccessProfile
 from ..hardware.device import Device
-from .base import ArrayMap, OpCost, OpOutput, columns_num_rows
+from ..relational.keys import composite_key_map, match_indices
+from .base import (
+    ArrayMap,
+    OpCost,
+    OpOutput,
+    columns_num_rows,
+    record_kernel_invocation,
+)
 from .filterproject import compute_ops_per_sec
 
 #: Bytes of one hash-table entry: key, payload reference and next pointer.
@@ -33,31 +45,18 @@ def join_match_indices(build_keys: np.ndarray,
     Vectorized with a sort + binary search; handles duplicate build keys.
     Returns ``(build_indices, probe_indices)``.
     """
-    build_keys = np.asarray(build_keys)
-    probe_keys = np.asarray(probe_keys)
-    order = np.argsort(build_keys, kind="stable")
-    sorted_keys = build_keys[order]
-    left = np.searchsorted(sorted_keys, probe_keys, side="left")
-    right = np.searchsorted(sorted_keys, probe_keys, side="right")
-    counts = right - left
-    probe_indices = np.repeat(np.arange(len(probe_keys)), counts)
-    if len(probe_indices) == 0:
-        return (np.asarray([], dtype=np.int64), np.asarray([], dtype=np.int64))
-    # For each probe tuple, enumerate the run of matching build positions.
-    starts = np.repeat(left, counts)
-    run_offsets = np.arange(len(probe_indices)) - np.repeat(
-        np.cumsum(counts) - counts, counts)
-    build_indices = order[starts + run_offsets]
-    return build_indices.astype(np.int64), probe_indices.astype(np.int64)
+    return match_indices(build_keys, probe_keys)
 
 
 def composite_key(columns: Mapping[str, np.ndarray],
                   keys: Sequence[str]) -> np.ndarray:
-    """Fold multi-column join keys into one int64 key column."""
-    combined = np.zeros(columns_num_rows(columns), dtype=np.int64)
-    for name in keys:
-        combined = combined * 1_000_003 + np.asarray(columns[name], dtype=np.int64)
-    return combined
+    """Fold multi-column join keys into one int64 key column.
+
+    Delegates to the shared overflow-safe fold in
+    :mod:`repro.relational.keys`.
+    """
+    return composite_key_map(columns, keys,
+                             num_rows=columns_num_rows(columns))
 
 
 def _materialize_join(build: Mapping[str, np.ndarray],
@@ -73,6 +72,63 @@ def _materialize_join(build: Mapping[str, np.ndarray],
     return result
 
 
+@dataclass(frozen=True)
+class JoinStats:
+    """Data-derived quantities the join cost estimators need."""
+
+    build_rows: int
+    probe_rows: int
+    build_nbytes: int
+    probe_nbytes: int
+    output_nbytes: int
+
+
+def hash_join_kernel(build: Mapping[str, np.ndarray],
+                     probe: Mapping[str, np.ndarray], *,
+                     build_keys: Sequence[str],
+                     probe_keys: Sequence[str]) -> tuple[ArrayMap, JoinStats]:
+    """Evaluate the equi-join once; device-independent."""
+    record_kernel_invocation("hash_join")
+    build = {name: np.asarray(values) for name, values in build.items()}
+    probe = {name: np.asarray(values) for name, values in probe.items()}
+    build_composite = composite_key(build, build_keys)
+    probe_composite = composite_key(probe, probe_keys)
+    build_indices, probe_indices = join_match_indices(build_composite,
+                                                      probe_composite)
+    columns = _materialize_join(build, probe, build_indices, probe_indices)
+    stats = JoinStats(
+        build_rows=columns_num_rows(build),
+        probe_rows=columns_num_rows(probe),
+        build_nbytes=int(sum(v.nbytes for v in build.values())),
+        probe_nbytes=int(sum(v.nbytes for v in probe.values())),
+        output_nbytes=int(sum(v.nbytes for v in columns.values())),
+    )
+    return columns, stats
+
+
+def estimate_non_partitioned_join(stats: JoinStats, device: Device, *,
+                                  charge_input_scan: bool = True) -> OpCost:
+    """Cost of the hardware-oblivious join on ``device``; no data touched."""
+    cost = OpCost()
+    table_bytes = max(stats.build_rows, 1) * HASH_ENTRY_BYTES
+    if charge_input_scan:
+        cost.add("scan-build", device.cost.seq_scan(stats.build_nbytes))
+        cost.add("scan-probe", device.cost.seq_scan(stats.probe_nbytes))
+    if stats.build_rows:
+        cost.add("build", device.cost.hash_build(stats.build_rows,
+                                                 HASH_ENTRY_BYTES))
+    if stats.probe_rows:
+        cost.add("probe", device.cost.hash_probe(
+            stats.probe_rows, HASH_ENTRY_BYTES, table_bytes))
+        cost.add("compute",
+                 (stats.build_rows + stats.probe_rows) * _OPS_PER_STEP
+                 / compute_ops_per_sec(device))
+    if device.is_gpu:
+        cost.add("kernel-launch", device.cost.kernel_launch(2))
+    cost.add("materialize-output", device.cost.seq_write(stats.output_nbytes))
+    return cost
+
+
 def non_partitioned_join(build: Mapping[str, np.ndarray],
                          probe: Mapping[str, np.ndarray],
                          device: Device, *,
@@ -80,37 +136,11 @@ def non_partitioned_join(build: Mapping[str, np.ndarray],
                          probe_keys: Sequence[str],
                          charge_input_scan: bool = True) -> OpOutput:
     """Hardware-oblivious hash join of two column maps on one device."""
-    build = {name: np.asarray(values) for name, values in build.items()}
-    probe = {name: np.asarray(values) for name, values in probe.items()}
-    build_rows = columns_num_rows(build)
-    probe_rows = columns_num_rows(probe)
-    cost = OpCost()
-
-    table_bytes = max(build_rows, 1) * HASH_ENTRY_BYTES
-    if charge_input_scan:
-        cost.add("scan-build", device.cost.seq_scan(
-            int(sum(v.nbytes for v in build.values()))))
-        cost.add("scan-probe", device.cost.seq_scan(
-            int(sum(v.nbytes for v in probe.values()))))
-    if build_rows:
-        cost.add("build", device.cost.hash_build(build_rows, HASH_ENTRY_BYTES))
-    if probe_rows:
-        cost.add("probe", device.cost.hash_probe(
-            probe_rows, HASH_ENTRY_BYTES, table_bytes))
-        cost.add("compute",
-                 (build_rows + probe_rows) * _OPS_PER_STEP
-                 / compute_ops_per_sec(device))
-    if device.is_gpu:
-        cost.add("kernel-launch", device.cost.kernel_launch(2))
-
-    build_composite = composite_key(build, build_keys)
-    probe_composite = composite_key(probe, probe_keys)
-    build_indices, probe_indices = join_match_indices(build_composite,
-                                                      probe_composite)
-    columns = _materialize_join(build, probe, build_indices, probe_indices)
-    output = OpOutput(columns=columns, cost=cost)
-    cost.add("materialize-output", device.cost.seq_write(output.nbytes))
-    return output
+    columns, stats = hash_join_kernel(build, probe, build_keys=build_keys,
+                                      probe_keys=probe_keys)
+    cost = estimate_non_partitioned_join(stats, device,
+                                         charge_input_scan=charge_input_scan)
+    return OpOutput(columns=columns, cost=cost)
 
 
 def build_table_bytes(build_rows: int) -> int:
@@ -120,3 +150,15 @@ def build_table_bytes(build_rows: int) -> int:
     before attempting GPU execution (the Q9 failure mode in Section 6.4).
     """
     return int(build_rows * HASH_ENTRY_BYTES)
+
+
+__all__ = [
+    "HASH_ENTRY_BYTES",
+    "JoinStats",
+    "build_table_bytes",
+    "composite_key",
+    "estimate_non_partitioned_join",
+    "hash_join_kernel",
+    "join_match_indices",
+    "non_partitioned_join",
+]

@@ -13,6 +13,13 @@ that memory — while the *tuning knobs* differ per device:
 
 ``plan_partition_passes`` encodes those rules once; both the executable
 operators and the paper-scale analytic models in :mod:`repro.perf` call it.
+
+Following the single-evaluation operator contract (see
+:mod:`repro.operators`), the functional partitioning lives in
+:func:`radix_partition_kernel` — one stable argsort plus one gather per
+column, with the ``fanout`` buckets sliced out as zero-copy views — while
+:func:`estimate_radix_partition` / :func:`estimate_partition_run` replay the
+exact per-pass cost arithmetic from a :class:`PartitionRunStats` record.
 """
 
 from __future__ import annotations
@@ -22,10 +29,15 @@ from typing import Mapping, Sequence
 
 import numpy as np
 
-from ..hardware.costmodel import AccessProfile
 from ..hardware.device import Device
 from ..hardware.specs import DeviceKind, DeviceSpec
-from .base import ArrayMap, OpCost, OpOutput, columns_num_rows
+from .base import (
+    ArrayMap,
+    OpCost,
+    OpOutput,
+    columns_num_rows,
+    record_kernel_invocation,
+)
 from .filterproject import compute_ops_per_sec
 from .hashjoin import HASH_ENTRY_BYTES, composite_key, join_match_indices
 
@@ -131,22 +143,68 @@ def plan_partition_passes(input_tuples: int, tuple_bytes: int,
 # ----------------------------------------------------------------------
 # Executable partitioning
 # ----------------------------------------------------------------------
-def radix_partition(columns: Mapping[str, np.ndarray], device: Device, *,
-                    key: str, fanout: int,
-                    consolidated: bool = True) -> tuple[list[ArrayMap], OpCost]:
+@dataclass(frozen=True)
+class PartitionRunStats:
+    """Shape of an executed sequence of partitioning passes.
+
+    ``calls`` records one ``(num_rows, fanout)`` entry per
+    :func:`radix_partition_kernel` invocation, in execution order, so that
+    :func:`estimate_partition_run` can replay the exact cost arithmetic of
+    the run on any device without touching the data again.
+    """
+
+    tuple_bytes: int
+    calls: tuple[tuple[int, int], ...]
+
+
+def radix_partition_kernel(columns: Mapping[str, np.ndarray], *,
+                           key: str, fanout: int) -> list[ArrayMap]:
     """Partition one column map into ``fanout`` buckets by key radix.
 
-    Returns the partitions (list of column maps) and the cost of the pass.
-    ``consolidated`` selects the store-consolidating variant of Figure 4
-    (scratchpad staging on GPUs, software write-combining on CPUs).
+    One stable argsort of the bucket ids plus a single gather per column;
+    the buckets are then sliced out of the gathered arrays as zero-copy
+    views (the store-consolidation analogue of Figure 4: every input tuple
+    is moved exactly once).
     """
     if fanout < 1:
         raise ValueError("fanout must be at least 1")
+    record_kernel_invocation("radix_partition")
     columns = {name: np.asarray(values) for name, values in columns.items()}
     num_rows = columns_num_rows(columns)
+    if num_rows == 0:
+        return [dict(columns) for _ in range(fanout)]
+    if key not in columns:
+        raise KeyError(key)
+    if fanout == 1:
+        return [dict(columns)]
+    keys = np.asarray(columns[key], dtype=np.int64)
+    bucket = (keys % fanout + fanout) % fanout
+    order = np.argsort(bucket, kind="stable")
+    boundaries = np.searchsorted(bucket[order], np.arange(fanout + 1))
+    gathered = {name: values[order] for name, values in columns.items()}
+    return [
+        {name: values[boundaries[index]:boundaries[index + 1]]
+         for name, values in gathered.items()}
+        for index in range(fanout)
+    ]
+
+
+def partition_tuple_bytes(columns: Mapping[str, np.ndarray]) -> int:
+    """Bytes one tuple of a column map occupies during a partition pass."""
+    return max(
+        int(sum(np.asarray(values).dtype.itemsize
+                for values in columns.values())), 1)
+
+
+def estimate_radix_partition(num_rows: int, tuple_bytes: int, fanout: int,
+                             device: Device, *,
+                             consolidated: bool = True) -> OpCost:
+    """Cost of one partitioning pass on ``device``; no data touched.
+
+    ``consolidated`` selects the store-consolidating variant of Figure 4
+    (scratchpad staging on GPUs, software write-combining on CPUs).
+    """
     cost = OpCost()
-    tuple_bytes = max(
-        int(sum(values.dtype.itemsize for values in columns.values())), 1)
     cost.add("partition-pass", device.cost.partition_pass(
         num_rows, tuple_bytes, fanout, consolidated=consolidated))
     cost.add("compute", num_rows * _OPS_PER_PARTITION_STEP
@@ -154,84 +212,130 @@ def radix_partition(columns: Mapping[str, np.ndarray], device: Device, *,
     if device.is_gpu:
         cost.add("atomics", device.cost.atomic_ops(max(num_rows // 8, fanout)))
         cost.add("kernel-launch", device.cost.kernel_launch())
+    return cost
 
-    if num_rows == 0:
-        return [dict(columns) for _ in range(fanout)], cost
-    keys = np.asarray(columns[key], dtype=np.int64)
-    bucket = (keys % fanout + fanout) % fanout
-    order = np.argsort(bucket, kind="stable")
-    boundaries = np.searchsorted(bucket[order], np.arange(fanout + 1))
-    partitions: list[ArrayMap] = []
-    for index in range(fanout):
-        selection = order[boundaries[index]:boundaries[index + 1]]
-        partitions.append({name: values[selection]
-                           for name, values in columns.items()})
+
+def estimate_partition_run(stats: PartitionRunStats, device: Device, *,
+                           consolidated: bool = True) -> OpCost:
+    """Replay the cost of a recorded sequence of partitioning passes."""
+    cost = OpCost()
+    for num_rows, fanout in stats.calls:
+        cost.merge(estimate_radix_partition(num_rows, stats.tuple_bytes,
+                                            fanout, device,
+                                            consolidated=consolidated))
+    return cost
+
+
+def radix_partition(columns: Mapping[str, np.ndarray], device: Device, *,
+                    key: str, fanout: int,
+                    consolidated: bool = True) -> tuple[list[ArrayMap], OpCost]:
+    """Partition one column map on one device (kernel + cost in one).
+
+    Returns the partitions (list of column maps) and the cost of the pass.
+    """
+    num_rows = columns_num_rows(columns)
+    tuple_bytes = partition_tuple_bytes(columns)
+    partitions = radix_partition_kernel(columns, key=key, fanout=fanout)
+    cost = estimate_radix_partition(num_rows, tuple_bytes, fanout, device,
+                                    consolidated=consolidated)
     return partitions, cost
+
+
+def partition_by_plan_kernel(
+        columns: Mapping[str, np.ndarray], *,
+        key: str, plan: PartitionPlan,
+) -> tuple[list[ArrayMap], PartitionRunStats]:
+    """Apply every pass of a :class:`PartitionPlan`, recording run stats."""
+    tuple_bytes = partition_tuple_bytes(columns)
+    calls: list[tuple[int, int]] = []
+    current = [dict(columns)]
+    for fanout in plan.fanout_per_pass:
+        next_level: list[ArrayMap] = []
+        for chunk in current:
+            calls.append((columns_num_rows(chunk), fanout))
+            next_level.extend(radix_partition_kernel(chunk, key=key,
+                                                     fanout=fanout))
+        current = next_level
+    return current, PartitionRunStats(tuple_bytes=tuple_bytes,
+                                      calls=tuple(calls))
 
 
 def partition_by_plan(columns: Mapping[str, np.ndarray], device: Device, *,
                       key: str, plan: PartitionPlan,
                       consolidated: bool = True) -> tuple[list[ArrayMap], OpCost]:
-    """Apply every pass of a :class:`PartitionPlan`, recursively."""
-    cost = OpCost()
-    current = [dict(columns)]
-    for fanout in plan.fanout_per_pass:
-        next_level: list[ArrayMap] = []
-        for chunk in current:
-            partitions, pass_cost = radix_partition(
-                chunk, device, key=key, fanout=fanout,
-                consolidated=consolidated)
-            cost.merge(pass_cost)
-            next_level.extend(partitions)
-        current = next_level
-    return current, cost
+    """Apply every pass of a :class:`PartitionPlan` on one device."""
+    partitions, stats = partition_by_plan_kernel(columns, key=key, plan=plan)
+    cost = estimate_partition_run(stats, device, consolidated=consolidated)
+    return partitions, cost
 
 
 # ----------------------------------------------------------------------
 # CPU radix join
 # ----------------------------------------------------------------------
-def cpu_radix_join(build: Mapping[str, np.ndarray],
-                   probe: Mapping[str, np.ndarray],
-                   device: Device, *,
-                   build_keys: Sequence[str],
-                   probe_keys: Sequence[str]) -> OpOutput:
-    """The cache/TLB-conscious CPU partitioned hash join."""
-    if not device.is_cpu:
-        raise ValueError("cpu_radix_join must be placed on a CPU device")
+@dataclass(frozen=True)
+class CpuRadixJoinStats:
+    """Data-derived quantities the CPU radix-join estimator needs."""
+
+    build_rows: int
+    probe_rows: int
+    plan: PartitionPlan
+    build_run: PartitionRunStats
+    probe_run: PartitionRunStats
+    output_nbytes: int
+
+
+def cpu_radix_join_kernel(
+        build: Mapping[str, np.ndarray],
+        probe: Mapping[str, np.ndarray], *,
+        build_keys: Sequence[str],
+        probe_keys: Sequence[str],
+        spec: DeviceSpec,
+) -> tuple[ArrayMap, CpuRadixJoinStats]:
+    """Evaluate the partitioned CPU join once.
+
+    ``spec`` only supplies the partitioning *tuning knobs* (fan-out limits,
+    cache targets); the data path itself is device-invariant.
+    """
+    record_kernel_invocation("cpu_radix_join")
     build = {name: np.asarray(values) for name, values in build.items()}
     probe = {name: np.asarray(values) for name, values in probe.items()}
     build = dict(build, __key=composite_key(build, build_keys))
     probe = dict(probe, __key=composite_key(probe, probe_keys))
     build_rows = columns_num_rows(build)
     probe_rows = columns_num_rows(probe)
-    cost = OpCost()
 
     tuple_bytes = HASH_ENTRY_BYTES
-    plan = plan_partition_passes(max(build_rows, 1), tuple_bytes, device.spec)
-    build_parts, build_cost = partition_by_plan(build, device, key="__key",
-                                                plan=plan)
-    cost.merge(build_cost)
+    plan = plan_partition_passes(max(build_rows, 1), tuple_bytes, spec)
+    build_parts, build_run = partition_by_plan_kernel(build, key="__key",
+                                                      plan=plan)
     probe_plan = PartitionPlan(
         device_kind=plan.device_kind, tuple_bytes=tuple_bytes,
         input_tuples=max(probe_rows, 1),
         fanout_per_pass=plan.fanout_per_pass,
         target_partition_tuples=plan.target_partition_tuples)
-    probe_parts, probe_cost = partition_by_plan(probe, device, key="__key",
-                                                plan=probe_plan)
-    cost.merge(probe_cost)
+    probe_parts, probe_run = partition_by_plan_kernel(probe, key="__key",
+                                                      plan=probe_plan)
 
-    # Build & probe each co-partition inside the cache.
-    cache_bytes = target_partition_bytes(device.spec)
+    columns = _join_copartitions(build_parts, probe_parts, build, probe)
+    stats = CpuRadixJoinStats(
+        build_rows=build_rows, probe_rows=probe_rows, plan=plan,
+        build_run=build_run, probe_run=probe_run,
+        output_nbytes=int(sum(v.nbytes for v in columns.values())),
+    )
+    return columns, stats
+
+
+def _join_copartitions(build_parts: Sequence[ArrayMap],
+                       probe_parts: Sequence[ArrayMap],
+                       build: Mapping[str, np.ndarray],
+                       probe: Mapping[str, np.ndarray]) -> ArrayMap:
+    """Build & probe each co-partition and concatenate the match output."""
     outputs: list[ArrayMap] = []
-    total_matches = 0
     for build_part, probe_part in zip(build_parts, probe_parts):
-        part_rows = columns_num_rows(build_part)
-        probe_part_rows = columns_num_rows(probe_part)
-        if part_rows == 0 or probe_part_rows == 0:
+        if columns_num_rows(build_part) == 0 or columns_num_rows(probe_part) == 0:
             continue
         build_indices, probe_indices = join_match_indices(
             build_part["__key"], probe_part["__key"])
-        total_matches += len(build_indices)
         merged: ArrayMap = {}
         for name, values in build_part.items():
             if name != "__key":
@@ -240,24 +344,49 @@ def cpu_radix_join(build: Mapping[str, np.ndarray],
             if name != "__key":
                 merged[name] = values[probe_indices]
         outputs.append(merged)
-    table_target = "L2" if tuple_bytes * plan.final_partition_tuples <= cache_bytes else "L3"
-    cost.add("build", device.cost.hash_build(build_rows, HASH_ENTRY_BYTES,
+    if outputs:
+        return {name: np.concatenate([part[name] for part in outputs])
+                for name in outputs[0]}
+    columns = {name: np.asarray(values)[:0]
+               for name, values in build.items() if name != "__key"}
+    columns.update({name: np.asarray(values)[:0]
+                    for name, values in probe.items() if name != "__key"})
+    return columns
+
+
+def estimate_cpu_radix_join(stats: CpuRadixJoinStats,
+                            device: Device) -> OpCost:
+    """Cost of the cache/TLB-conscious partitioned join; no data touched."""
+    cost = OpCost()
+    cost.merge(estimate_partition_run(stats.build_run, device))
+    cost.merge(estimate_partition_run(stats.probe_run, device))
+    plan = stats.plan
+    cache_bytes = target_partition_bytes(device.spec)
+    table_target = ("L2" if plan.tuple_bytes * plan.final_partition_tuples
+                    <= cache_bytes else "L3")
+    cost.add("build", device.cost.hash_build(stats.build_rows,
+                                             HASH_ENTRY_BYTES,
                                              target=table_target))
     cost.add("probe", device.cost.hash_probe(
-        probe_rows, HASH_ENTRY_BYTES,
+        stats.probe_rows, HASH_ENTRY_BYTES,
         int(plan.final_partition_tuples * HASH_ENTRY_BYTES),
         target=table_target))
-    cost.add("compute", (build_rows + probe_rows) * _OPS_PER_JOIN_STEP
-             / compute_ops_per_sec(device))
+    cost.add("compute", (stats.build_rows + stats.probe_rows)
+             * _OPS_PER_JOIN_STEP / compute_ops_per_sec(device))
+    cost.add("materialize-output", device.cost.seq_write(stats.output_nbytes))
+    return cost
 
-    if outputs:
-        columns = {name: np.concatenate([part[name] for part in outputs])
-                   for name in outputs[0]}
-    else:
-        columns = {name: np.asarray(values)[:0]
-                   for name, values in build.items() if name != "__key"}
-        columns.update({name: np.asarray(values)[:0]
-                        for name, values in probe.items() if name != "__key"})
-    output = OpOutput(columns=columns, cost=cost)
-    cost.add("materialize-output", device.cost.seq_write(output.nbytes))
-    return output
+
+def cpu_radix_join(build: Mapping[str, np.ndarray],
+                   probe: Mapping[str, np.ndarray],
+                   device: Device, *,
+                   build_keys: Sequence[str],
+                   probe_keys: Sequence[str]) -> OpOutput:
+    """The cache/TLB-conscious CPU partitioned hash join."""
+    if not device.is_cpu:
+        raise ValueError("cpu_radix_join must be placed on a CPU device")
+    columns, stats = cpu_radix_join_kernel(
+        build, probe, build_keys=build_keys, probe_keys=probe_keys,
+        spec=device.spec)
+    return OpOutput(columns=columns,
+                    cost=estimate_cpu_radix_join(stats, device))

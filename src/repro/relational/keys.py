@@ -1,0 +1,101 @@
+"""Shared composite-key folding and equi-join matching primitives.
+
+Every join and group-by in the code base reduces multi-column keys to a
+single ``int64`` column before hashing, partitioning or matching.  The
+folding used to exist in three copies (``operators/hashjoin.py``,
+``operators/aggregate.py`` and ``relational/reference.py``); this module is
+the single implementation all of them share.
+
+The fold is a polynomial rolling hash ``acc = acc * P + key`` with
+``P = 1_000_003``.  It is computed in ``uint64`` so that overflow is
+well-defined modular arithmetic (NumPy's ``int64`` wraparound is identical
+bit-for-bit, but going through ``uint64`` keeps the semantics explicit and
+silences any overflow warnings), then reinterpreted as ``int64``.
+
+This module intentionally depends only on NumPy so that both the relational
+reference executor and the hardware-conscious operators can import it
+without creating an import cycle.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+import numpy as np
+
+#: Multiplier of the polynomial key fold.  Prime, so consecutive small key
+#: domains (dictionary codes, date ints) rarely collide after folding.
+FOLD_MULTIPLIER = 1_000_003
+
+
+def fold_keys(arrays: Sequence[np.ndarray], *,
+              num_rows: int | None = None) -> np.ndarray:
+    """Fold multi-column keys into one ``int64`` key column.
+
+    ``num_rows`` is only needed when ``arrays`` is empty (e.g. a grand
+    aggregate with no group-by columns), where the fold degenerates to an
+    all-zero key column of that length.
+    """
+    if not arrays:
+        if num_rows is None:
+            raise ValueError("fold_keys needs num_rows when no key arrays "
+                             "are given")
+        return np.zeros(num_rows, dtype=np.int64)
+    multiplier = np.uint64(FOLD_MULTIPLIER)
+    combined = np.zeros(len(np.asarray(arrays[0])), dtype=np.uint64)
+    for values in arrays:
+        folded = np.asarray(values, dtype=np.int64).astype(np.uint64)
+        combined = combined * multiplier + folded
+    return combined.view(np.int64)
+
+
+def composite_key_map(columns: Mapping[str, np.ndarray],
+                      keys: Sequence[str], *,
+                      num_rows: int | None = None) -> np.ndarray:
+    """:func:`fold_keys` over named columns of a column map."""
+    if not keys and num_rows is None:
+        first = next(iter(columns.values()), None)
+        num_rows = 0 if first is None else len(np.asarray(first))
+    return fold_keys([np.asarray(columns[name]) for name in keys],
+                     num_rows=num_rows)
+
+
+def match_indices(left_keys: np.ndarray,
+                  right_keys: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Positions of all matching ``(left, right)`` pairs for an equi-join.
+
+    Vectorized with one stable sort of the left (build) side plus binary
+    searches from the right (probe) side; handles duplicate left keys.  The
+    result is ordered by right index, ties ordered by ascending left index —
+    the same order a nested dictionary lookup would produce.
+    """
+    left_keys = np.asarray(left_keys)
+    right_keys = np.asarray(right_keys)
+    empty = (np.asarray([], dtype=np.int64), np.asarray([], dtype=np.int64))
+    if len(left_keys) == 0 or len(right_keys) == 0:
+        return empty
+    order = np.argsort(left_keys, kind="stable")
+    sorted_keys = left_keys[order]
+    if not np.any(sorted_keys[1:] == sorted_keys[:-1]):
+        # Unique build keys (the common PK-FK case): one binary search and a
+        # membership test instead of the two-sided search below.
+        positions = np.searchsorted(sorted_keys, right_keys, side="left")
+        positions = np.minimum(positions, len(sorted_keys) - 1)
+        matched = sorted_keys[positions] == right_keys
+        right_indices = np.flatnonzero(matched)
+        if len(right_indices) == 0:
+            return empty
+        left_indices = order[positions[right_indices]]
+        return left_indices.astype(np.int64), right_indices.astype(np.int64)
+    left = np.searchsorted(sorted_keys, right_keys, side="left")
+    right = np.searchsorted(sorted_keys, right_keys, side="right")
+    counts = right - left
+    right_indices = np.repeat(np.arange(len(right_keys)), counts)
+    if len(right_indices) == 0:
+        return empty
+    # For each probe tuple, enumerate the run of matching build positions.
+    starts = np.repeat(left, counts)
+    run_offsets = np.arange(len(right_indices)) - np.repeat(
+        np.cumsum(counts) - counts, counts)
+    left_indices = order[starts + run_offsets]
+    return left_indices.astype(np.int64), right_indices.astype(np.int64)

@@ -10,6 +10,7 @@ inter-device concerns, exactly as Sections 3-5 of the paper prescribe.
 
 from __future__ import annotations
 
+import dataclasses
 import enum
 import itertools
 from dataclasses import dataclass, field
@@ -291,6 +292,54 @@ class Split(PhysicalOp):
 
     def describe(self) -> str:
         return f"Split(ways={self.ways})"
+
+
+def structural_key(node: PhysicalOp,
+                   cache: dict[int, tuple] | None = None) -> tuple:
+    """A hashable description of the *functional* computation of a subtree.
+
+    Two nodes with equal structural keys produce identical output columns
+    when executed against the same catalog: the key covers operator types,
+    expressions, key lists, algorithms and children, but deliberately skips
+    ``traits`` and ``node_id`` — device placement changes cost, never
+    results.  The executor uses this to evaluate repeated subplans (e.g. a
+    dimension scan feeding several joins) exactly once per ``execute`` call.
+
+    ``cache`` (an ``id(node) -> key`` dict scoped to one plan traversal)
+    makes repeated key requests over one plan linear instead of quadratic;
+    callers must discard it when the plan objects can be garbage collected.
+    """
+    if cache is not None:
+        cached = cache.get(id(node))
+        if cached is not None:
+            return cached
+    parts: list[object] = [type(node).__name__]
+    for spec in dataclasses.fields(node):
+        if spec.name in ("traits", "node_id"):
+            continue
+        parts.append(_structural_field(getattr(node, spec.name), cache))
+    key = tuple(parts)
+    if cache is not None:
+        cache[id(node)] = key
+    return key
+
+
+def _structural_field(value: object,
+                      cache: dict[int, tuple] | None = None) -> object:
+    if isinstance(value, PhysicalOp):
+        return structural_key(value, cache)
+    if isinstance(value, Expr):
+        return repr(value)
+    if isinstance(value, AggregateSpec):
+        return (value.func, repr(value.expr), value.alias)
+    if isinstance(value, dict):
+        return tuple((name, _structural_field(item, cache))
+                     for name, item in value.items())
+    if isinstance(value, (tuple, list)):
+        return tuple(_structural_field(item, cache) for item in value)
+    if isinstance(value, enum.Enum):
+        return value.value
+    return value
 
 
 def count_operators(root: PhysicalOp) -> dict[str, int]:

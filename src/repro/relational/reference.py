@@ -15,6 +15,7 @@ from ..storage.catalog import Catalog
 from ..storage.column import Column
 from ..storage.table import Table
 from .expr import AggregateSpec
+from .keys import fold_keys, match_indices
 from .logical import Aggregate, Filter, Join, LogicalPlan, OrderBy, Project, Scan
 
 
@@ -72,8 +73,23 @@ def join_indices(left_keys: list[np.ndarray],
                  right_keys: list[np.ndarray]) -> tuple[np.ndarray, np.ndarray]:
     """All (left, right) index pairs whose composite keys are equal.
 
-    A dictionary-based multi-way equi-join used as the semantic reference for
-    every join algorithm in :mod:`repro.operators`.
+    The semantic reference for every join algorithm in
+    :mod:`repro.operators`.  Vectorized via the shared sort + binary-search
+    matcher in :mod:`repro.relational.keys`; pair order (by right index,
+    ties by ascending left index) is identical to the historical
+    dictionary-based implementation, which survives as
+    :func:`join_indices_dict` — the cross-check oracle for small inputs.
+    """
+    return match_indices(_composite(left_keys), _composite(right_keys))
+
+
+def join_indices_dict(left_keys: list[np.ndarray],
+                      right_keys: list[np.ndarray]) -> tuple[np.ndarray, np.ndarray]:
+    """Dictionary-based multi-way equi-join: the obviously-correct oracle.
+
+    Quadratic-ish pure-Python loop kept for the test-suite to cross-check
+    the vectorized :func:`join_indices` on small inputs; do not use it on
+    anything large.
     """
     composite_left = _composite(left_keys)
     composite_right = _composite(right_keys)
@@ -91,13 +107,8 @@ def join_indices(left_keys: list[np.ndarray],
 
 
 def _composite(keys: list[np.ndarray]) -> np.ndarray:
-    """Combine multi-column keys into a single int64 key."""
-    if len(keys) == 1:
-        return np.asarray(keys[0], dtype=np.int64)
-    combined = np.zeros(len(keys[0]), dtype=np.int64)
-    for key in keys:
-        combined = combined * 1_000_003 + np.asarray(key, dtype=np.int64)
-    return combined
+    """Combine multi-column keys into a single int64 key (shared fold)."""
+    return fold_keys(keys)
 
 
 def _execute_aggregate(plan: Aggregate, catalog: Catalog) -> dict[str, np.ndarray]:
