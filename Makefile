@@ -1,11 +1,19 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test bench bench-full
+.PHONY: test examples bench bench-full
 
 ## Tier-1 test suite (what CI runs).
 test:
 	$(PYTHON) -m pytest -x -q
+
+## Run every docs-facing example script (CI runs this too, so the
+## quickstart and tours referenced from README.md cannot rot).
+examples:
+	@set -e; for script in examples/*.py; do \
+		echo "== $$script"; \
+		$(PYTHON) $$script > /dev/null; \
+	done; echo "all examples ran cleanly"
 
 ## Quick benchmark pass: fig5-fig9 sweeps + TPC-H execution suite,
 ## appending wall-clock and simulated seconds to BENCH_results.json.

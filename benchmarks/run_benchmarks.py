@@ -62,7 +62,13 @@ def _best_wall(repeat: int, run) -> tuple[float, object]:
 def suite_tpch(args: argparse.Namespace, topology) -> dict:
     """The TPC-H execution suite: every query in every mode."""
     dataset = generate_tpch(args.sf, seed=args.seed)
-    engine = HAPEEngine(topology)
+    if args.morsel_rows is not None:
+        # 0 disables batching (whole-column packets); anything else is the
+        # morsel granularity.  Leaving the flag off uses the engine default.
+        engine = HAPEEngine(topology,
+                            morsel_rows=args.morsel_rows or None)
+    else:
+        engine = HAPEEngine(topology)
     engine.register_dataset(dataset.tables, replace=True)
     queries = all_queries(dataset)
 
@@ -178,6 +184,10 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--seed", type=int, default=2019)
     parser.add_argument("--repeat", type=int, default=3,
                         help="wall-clock measurements take the best of N runs")
+    parser.add_argument("--morsel-rows", type=int, default=None,
+                        help="morsel granularity for the TPC-H execution "
+                             "suite (0 = whole-column packets; omit for the "
+                             "engine default)")
     parser.add_argument("--output", type=Path,
                         default=_REPO / "BENCH_results.json")
     parser.add_argument("--suites", nargs="*",
@@ -214,7 +224,8 @@ def main(argv: list[str] | None = None) -> int:
         "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
         "git_revision": _git_revision(),
         "python": platform.python_version(),
-        "args": {"sf": args.sf, "seed": args.seed, "repeat": args.repeat},
+        "args": {"sf": args.sf, "seed": args.seed, "repeat": args.repeat,
+                 "morsel_rows": args.morsel_rows},
         "suites": suites,
     }
 

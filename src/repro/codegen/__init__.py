@@ -11,6 +11,7 @@ from .pipeline import (
     Pipeline,
     break_into_pipelines,
     is_pipeline_breaker,
+    is_streaming_operator,
     pipelines_per_device,
 )
 
@@ -22,6 +23,7 @@ __all__ = [
     "Pipeline",
     "break_into_pipelines",
     "is_pipeline_breaker",
+    "is_streaming_operator",
     "pipelines_per_device",
     "provider_for",
 ]

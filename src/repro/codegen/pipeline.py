@@ -7,6 +7,12 @@ breakers are the operators that must consume their whole input before
 producing output (hash-table builds, aggregations, sorts) and the
 HetExchange operators, which hand packets to another device or degree of
 parallelism.
+
+The same breaker/non-breaker split drives the morsel pipeline: everything
+upstream of a pipeline's sink processes data morsel-at-a-time
+(:func:`is_streaming_operator`), while the sink — if it is a breaker —
+consumes the whole morsel stream before emitting
+(:meth:`Pipeline.streaming_prefix`).
 """
 
 from __future__ import annotations
@@ -50,12 +56,37 @@ class Pipeline:
         deps = f" (after {self.depends_on})" if self.depends_on else ""
         return f"pipeline#{self.pipeline_id}[{self.device.value}]{deps}: {chain}"
 
+    def streaming_prefix(self) -> list[PhysicalOp]:
+        """Operators of this pipeline that process data morsel-at-a-time.
+
+        Everything up to (and excluding) a breaker sink streams: a morsel
+        entering the pipeline flows through the whole prefix before the
+        next morsel is touched.  When the sink itself streams (e.g. a
+        filter-project feeding a parent pipeline), the prefix is the whole
+        pipeline.
+        """
+        if is_pipeline_breaker(self.sink_op):
+            return self.operators[:-1]
+        return list(self.operators)
+
 
 def is_pipeline_breaker(op: PhysicalOp) -> bool:
     """Operators that terminate the pipeline that produces their input."""
     if isinstance(op, (PAggregate, PSort, PJoin)):
         return True
     return op.is_exchange()
+
+
+def is_streaming_operator(op: PhysicalOp) -> bool:
+    """Operators that consume and produce morsels one at a time.
+
+    The complement of :func:`is_pipeline_breaker` plus the scan sources:
+    scans emit morsels, filter-projects transform them row-locally.
+    Exchange operators also forward packets as they arrive, but they end
+    the producing pipeline (a new degree of parallelism starts), so they
+    are classified as breakers for extraction purposes.
+    """
+    return isinstance(op, (PScan, PFilterProject))
 
 
 def break_into_pipelines(root: PhysicalOp) -> list[Pipeline]:

@@ -1,9 +1,9 @@
 """HAPE engine: optimizer, executor and the public engine facade."""
 
-from .executor import ExecutionResult, Executor, ExecutorOptions
+from .executor import ExecutionResult, Executor, ExecutorOptions, MorselScheduler
 from .modes import ExecutionMode
 from .optimizer import Optimizer, OptimizerOptions
-from .session import HAPEEngine, QueryResult
+from .session import HAPEEngine, QueryResult, Session
 
 __all__ = [
     "ExecutionMode",
@@ -11,7 +11,9 @@ __all__ = [
     "Executor",
     "ExecutorOptions",
     "HAPEEngine",
+    "MorselScheduler",
     "Optimizer",
     "OptimizerOptions",
     "QueryResult",
+    "Session",
 ]

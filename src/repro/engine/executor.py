@@ -16,11 +16,25 @@ repeated subplan (the same dimension scan or build side appearing under
 several operators) is evaluated functionally once per
 :meth:`Executor.execute` call, while its cost is still charged per
 occurrence — simulated timings are unaffected by the memoization.
+
+Morsel-driven batching
+----------------------
+
+Kernels do not consume whole-column packets in one gulp: the
+:class:`MorselScheduler` grants every kernel evaluation a *morsel*
+granularity (``ExecutorOptions.morsel_rows``, surfaced as the
+``morsel_rows`` knob on :class:`~repro.engine.session.HAPEEngine`), and the
+operators process their inputs in bounded row-count slices — streaming for
+filter/project and join probes, build-then-probe for joins and aggregates.
+Morsel granularity is *wall-clock only*: kernel outputs, stats records and
+therefore every simulated second are bit-identical for every setting, and
+the per-subplan kernel memo keyed by structural keys works unchanged
+because memo entries hold fully reassembled batches, never partial streams.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Callable, Sequence, TypeVar
 
 import numpy as np
@@ -69,6 +83,7 @@ from ..relational.physical import (
 )
 from ..storage.catalog import Catalog
 from ..storage.column import Column
+from ..storage.morsel import DEFAULT_MORSEL_ROWS, morsel_count
 from ..storage.table import Table
 
 _KernelResult = TypeVar("_KernelResult")
@@ -85,6 +100,53 @@ class ExecutorOptions:
     hybrid_join_overhead: float = 0.30
     #: Enforce GPU memory capacity when placing join hash tables.
     enforce_gpu_memory: bool = True
+    #: Rows per morsel for kernel evaluation; ``None`` disables batching
+    #: (whole-column packets).  Wall-clock/working-set only — simulated
+    #: seconds are identical for every setting.
+    morsel_rows: int | None = DEFAULT_MORSEL_ROWS
+
+
+@dataclass
+class MorselScheduler:
+    """Grants morsel granularity to kernel evaluations and accounts for it.
+
+    The scheduler is the engine-side half of the morsel contract: for each
+    plan node whose kernel is about to run, :meth:`grant` decides the
+    morsel size the operator must honor and records how many morsels the
+    node's input batches will be carved into.  The per-morsel loops live in
+    the operator kernels (they own the data path); the scheduler owns the
+    granularity policy and the bookkeeping that
+    :attr:`ExecutionResult.morsels_dispatched` reports.
+
+    There is deliberately no worker pool here: "parallel workers" exist
+    only inside the cost model's device clocks, so scheduling morsels onto
+    simulated devices would double-count what ``estimate_*`` already
+    prices.  Morsels bound the *real* working set of kernel evaluation;
+    simulated seconds never observe them.
+    """
+
+    #: Rows per morsel granted to kernels; ``None`` = whole-column packets.
+    morsel_rows: int | None = DEFAULT_MORSEL_ROWS
+    #: Morsels carved across all kernel evaluations since the last reset.
+    morsels_dispatched: int = 0
+
+    def reset(self) -> None:
+        """Zero the per-query counters (one :meth:`Executor.execute`)."""
+        self.morsels_dispatched = 0
+
+    def grant(self, *batch_rows: int) -> int | None:
+        """Morsel size for a kernel over the given input batch sizes.
+
+        Call once per actual kernel evaluation (inside the memo, so cached
+        subplans grant nothing) with the row count of every input batch the
+        kernel will carve: one for a unary operator, build and probe for a
+        join.
+        """
+        if self.morsel_rows is None:
+            return None
+        for num_rows in batch_rows:
+            self.morsels_dispatched += morsel_count(num_rows, self.morsel_rows)
+        return self.morsel_rows
 
 
 @dataclass
@@ -119,6 +181,10 @@ class ExecutionResult:
     device_busy: dict[str, float]
     link_bytes: dict[str, int]
     plan: PhysicalOp
+    #: Morsels the scheduler dispatched to kernels for this query: one per
+    #: input batch that fits a single morsel, more when batches stream,
+    #: zero when batching is disabled (``morsel_rows=None``).
+    morsels_dispatched: int = 0
 
     def utilization(self, resource: str) -> float:
         if self.simulated_seconds <= 0:
@@ -134,14 +200,26 @@ class Executor:
         self.topology = topology
         self.catalog = catalog
         self.options = options or ExecutorOptions()
+        self.scheduler = MorselScheduler(morsel_rows=None)
+        # Routes through the validating knob so an invalid morsel_rows in
+        # the options fails here, not mid-query.
+        self.configure_morsels(self.options.morsel_rows)
         self._kernel_memo: dict[tuple, dict[object, object]] = {}
         self._key_cache: dict[int, tuple] = {}
         self._key_refs: dict[tuple, int] = {}
+
+    def configure_morsels(self, morsel_rows: int | None) -> None:
+        """Re-tune the morsel granularity (the ``morsel_rows`` knob)."""
+        if morsel_rows is not None and morsel_rows <= 0:
+            raise ValueError("morsel_rows must be positive or None")
+        self.options = replace(self.options, morsel_rows=morsel_rows)
+        self.scheduler.morsel_rows = morsel_rows
 
     # ------------------------------------------------------------------
     def execute(self, plan: PhysicalOp) -> ExecutionResult:
         """Run a physical plan and report result plus simulated timing."""
         self.topology.reset()
+        self.scheduler.reset()
         self._kernel_memo = {}
         self._key_cache = {}
         self._key_refs = self._count_kernel_occurrences(plan)
@@ -165,6 +243,7 @@ class Executor:
             link_bytes={link.name: link.bytes_moved
                         for link in self.topology.links},
             plan=plan,
+            morsels_dispatched=self.scheduler.morsels_dispatched,
         )
 
     # ------------------------------------------------------------------
@@ -374,7 +453,8 @@ class Executor:
         columns, stats = self._memoized_kernel(
             node, lambda: filter_project_kernel(
                 child.columns, predicate=node.predicate,
-                projections=node.projections),
+                projections=node.projections,
+                morsel_rows=self.scheduler.grant(child.num_rows)),
             tuning=child.kernel_tag)
         cost_by_kind: dict[DeviceKind, OpCost] = {
             kind: estimate_filter_project(
@@ -398,7 +478,8 @@ class Executor:
             columns, stats = self._memoized_kernel(
                 node, lambda: hash_aggregate_kernel(
                     child.columns, group_by=node.group_by,
-                    aggregates=node.aggregates, phase="partial"),
+                    aggregates=node.aggregates, phase="partial",
+                    morsel_rows=self.scheduler.grant(child.num_rows)),
                 tuning=child.kernel_tag)
             cost_by_kind: dict[DeviceKind, OpCost] = {
                 kind: estimate_hash_aggregate(
@@ -427,7 +508,8 @@ class Executor:
             columns, stats = self._memoized_kernel(
                 node, lambda: hash_aggregate_kernel(
                     child.columns, group_by=node.group_by,
-                    aggregates=node.aggregates, phase="complete"),
+                    aggregates=node.aggregates, phase="complete",
+                    morsel_rows=self.scheduler.grant(child.num_rows)),
                 tuning=child.kernel_tag)
             cost = estimate_hash_aggregate(stats, cpu,
                                            aggregates=node.aggregates)
@@ -471,7 +553,9 @@ class Executor:
                 node, lambda: cpu_radix_join_kernel(
                     build.columns, probe.columns,
                     build_keys=node.build_keys, probe_keys=node.probe_keys,
-                    spec=cpus[0].spec),
+                    spec=cpus[0].spec,
+                    morsel_rows=self.scheduler.grant(build.num_rows,
+                                                     probe.num_rows)),
                 tuning=tag)
             cost = estimate_cpu_radix_join(stats, cpus[0])
             ready = self._charge_parallel(
@@ -495,7 +579,9 @@ class Executor:
                 node, lambda: gpu_partitioned_join_kernel(
                     build.columns, probe.columns,
                     build_keys=node.build_keys, probe_keys=node.probe_keys,
-                    spec=gpus[0].spec),
+                    spec=gpus[0].spec,
+                    morsel_rows=self.scheduler.grant(build.num_rows,
+                                                     probe.num_rows)),
                 tuning=tag)
             cost = estimate_gpu_partitioned_join(stats, gpus[0])
             ready = self._charge_parallel(
@@ -526,7 +612,9 @@ class Executor:
         columns, stats = self._memoized_kernel(
             node, lambda: hash_join_kernel(
                 build.columns, probe.columns,
-                build_keys=node.build_keys, probe_keys=node.probe_keys),
+                build_keys=node.build_keys, probe_keys=node.probe_keys,
+                morsel_rows=self.scheduler.grant(build.num_rows,
+                                                 probe.num_rows)),
             tuning=join_tag)
         cost_by_kind: dict[DeviceKind, OpCost] = {
             kind: estimate_non_partitioned_join(

@@ -1,10 +1,15 @@
-"""The HAPE engine facade.
+"""The HAPE engine facade (the user-facing *session*).
 
 :class:`HAPEEngine` ties the pieces together: a simulated server topology, a
 catalog of registered tables, the heterogeneity-aware optimizer, the JIT
 pipeline extraction and the executor.  A query is submitted as a logical
 plan; the result bundles the actual output table with the simulated timing
 information the evaluation figures are built from.
+
+One engine instance is one session: it owns the catalog and the execution
+knobs that hold across queries — most prominently :attr:`HAPEEngine.\
+morsel_rows`, the granularity of the morsel-driven batched execution.  The
+:data:`Session` alias exists for callers who think in session terms.
 """
 
 from __future__ import annotations
@@ -21,10 +26,21 @@ from .executor import ExecutionResult, Executor, ExecutorOptions
 from .modes import ExecutionMode
 from .optimizer import Optimizer, OptimizerOptions
 
+#: Sentinel distinguishing "not passed" from an explicit ``None`` (which
+#: means "whole-column packets, no batching") for the ``morsel_rows`` knob.
+_UNSET = object()
+
 
 @dataclass
 class QueryResult:
-    """Everything a query run produces."""
+    """Everything a query run produces.
+
+    The functional output lives in :attr:`table`; :attr:`simulated_seconds`
+    and :attr:`device_busy` are what the paper's evaluation figures plot.
+    :attr:`morsels_dispatched` reports how many morsels the executor's
+    scheduler carved for this query — a wall-clock/working-set diagnostic
+    that never influences the simulated timings.
+    """
 
     table: Table
     simulated_seconds: float
@@ -33,6 +49,7 @@ class QueryResult:
     mode: ExecutionMode
     physical_plan: PhysicalOp
     pipelines: list[Pipeline]
+    morsels_dispatched: int = 0
 
     @property
     def makespan_ms(self) -> float:
@@ -56,16 +73,54 @@ class QueryResult:
 
 
 class HAPEEngine:
-    """Heterogeneity-conscious Analytical query Processing Engine."""
+    """Heterogeneity-conscious Analytical query Processing Engine.
+
+    The engine facade doubles as the *session* object: construct it once,
+    register tables, then submit any number of logical plans.
+
+    Parameters
+    ----------
+    topology:
+        The simulated server to run on; defaults to the paper's testbed
+        (2 CPU sockets + 2 GPUs, :func:`~repro.hardware.default_server`).
+    optimizer_options / executor_options:
+        Fine-grained knob records; usually left at their defaults.
+    morsel_rows:
+        Granularity of morsel-driven batched execution: operator kernels
+        consume their inputs in slices of at most this many rows, which
+        bounds the working set of kernel evaluation.  ``None`` disables
+        batching (whole-column packets).  Simulated seconds are identical
+        for every setting; only real wall-clock/memory behavior changes.
+        Overrides ``executor_options.morsel_rows`` when both are given.
+    """
 
     def __init__(self, topology: Topology | None = None, *,
                  optimizer_options: OptimizerOptions | None = None,
-                 executor_options: ExecutorOptions | None = None) -> None:
+                 executor_options: ExecutorOptions | None = None,
+                 morsel_rows: int | None = _UNSET) -> None:  # type: ignore[assignment]
         self.topology = topology if topology is not None else default_server()
         self.catalog = Catalog()
         self.optimizer = Optimizer(self.topology, self.catalog,
                                    optimizer_options)
         self.executor = Executor(self.topology, self.catalog, executor_options)
+        if morsel_rows is not _UNSET:
+            self.executor.configure_morsels(morsel_rows)
+
+    # ------------------------------------------------------------------
+    # Session knobs
+    # ------------------------------------------------------------------
+    @property
+    def morsel_rows(self) -> int | None:
+        """Rows per morsel for kernel evaluation (``None`` = whole column).
+
+        Assigning re-tunes the executor in place, so the knob can be swept
+        within one session; results and simulated timings are unaffected.
+        """
+        return self.executor.options.morsel_rows
+
+    @morsel_rows.setter
+    def morsel_rows(self, value: int | None) -> None:
+        self.executor.configure_morsels(value)
 
     # ------------------------------------------------------------------
     # Catalog management
@@ -99,7 +154,14 @@ class HAPEEngine:
 
     def execute(self, logical: LogicalPlan,
                 mode: ExecutionMode | str = ExecutionMode.HYBRID) -> QueryResult:
-        """Optimize, generate and execute a query on the simulated server."""
+        """Optimize, generate and execute a query on the simulated server.
+
+        Runs the full stack: heterogeneity-aware optimization for ``mode``
+        (``"cpu"``, ``"gpu"`` or ``"hybrid"``), pipeline extraction, and
+        morsel-driven execution on the simulated topology.  The returned
+        :class:`QueryResult` carries both the functional answer and the
+        simulated timing/utilization breakdown.
+        """
         mode = ExecutionMode.parse(mode)
         physical = self.plan(logical, mode)
         pipelines = break_into_pipelines(physical)
@@ -112,4 +174,10 @@ class HAPEEngine:
             mode=mode,
             physical_plan=physical,
             pipelines=pipelines,
+            morsels_dispatched=result.morsels_dispatched,
         )
+
+
+#: Session-centric alias: one :class:`HAPEEngine` instance is one session
+#: (own catalog, own execution knobs such as ``morsel_rows``).
+Session = HAPEEngine

@@ -31,6 +31,7 @@ counters to prove the single-evaluation property.
 """
 
 from .aggregate import (
+    AggregateMorselSink,
     AggregateStats,
     estimate_hash_aggregate,
     estimate_merge_partials,
@@ -55,6 +56,7 @@ from .exchange import (
     broadcast,
     device_crossing_cost,
     mem_move,
+    route_morsels,
     zip_partitions,
 )
 from .filterproject import (
@@ -63,6 +65,8 @@ from .filterproject import (
     estimate_filter_project,
     expression_op_count,
     filter_project_kernel,
+    filter_project_morsel,
+    filter_project_morsels,
     scan_cost,
 )
 from .gpujoin import (
@@ -78,6 +82,7 @@ from .gpujoin import (
 )
 from .hashjoin import (
     HASH_ENTRY_BYTES,
+    HashJoinBuild,
     JoinStats,
     build_table_bytes,
     composite_key,
@@ -106,6 +111,7 @@ from .radix import (
 )
 
 __all__ = [
+    "AggregateMorselSink",
     "AggregateStats",
     "ArrayMap",
     "CoProcessingPlan",
@@ -114,6 +120,7 @@ __all__ = [
     "GpuJoinConfig",
     "GpuJoinStats",
     "HASH_ENTRY_BYTES",
+    "HashJoinBuild",
     "JoinStats",
     "L1_BUCKET_ARRAY_BYTES",
     "OpCost",
@@ -143,6 +150,8 @@ __all__ = [
     "estimate_radix_partition",
     "expression_op_count",
     "filter_project_kernel",
+    "filter_project_morsel",
+    "filter_project_morsels",
     "gpu_partitioned_join",
     "gpu_partitioned_join_kernel",
     "hash_aggregate",
@@ -165,6 +174,7 @@ __all__ = [
     "radix_partition_kernel",
     "record_kernel_invocation",
     "reset_kernel_counts",
+    "route_morsels",
     "scan_cost",
     "target_partition_bytes",
     "zip_partitions",

@@ -1,16 +1,44 @@
 """Shared infrastructure for executable operators.
 
+The kernel / stats / estimate contract
+--------------------------------------
+
 Every operator is split into two pure entry points that mirror the paper's
 device-invariant-skeleton / device-specific-knobs separation:
 
-* a **functional kernel** (``*_kernel``) that evaluates the NumPy result —
-  it never looks at a device and returns the output columns together with a
-  small *stats* record (row counts, touched bytes, per-pass partition
-  sizes) describing the work it performed, and
-* a **cost estimator** (``estimate_*``) that converts such a stats record
-  into an :class:`OpCost` for one device — it never touches array data, so
-  the executor can invoke it once per device kind while the kernel runs
-  exactly once per plan node.
+* a **functional kernel** (``*_kernel(columns, ...) -> (columns, stats)``)
+  that evaluates the NumPy result — it never looks at a device and returns
+  the output columns together with a small frozen *stats* record (row
+  counts, touched bytes, per-pass partition sizes) describing the work it
+  performed, and
+* a **cost estimator** (``estimate_*(stats, device, ...) -> OpCost``) that
+  converts such a stats record into an :class:`OpCost` for one device — it
+  never touches array data, so the executor can invoke it once per device
+  kind while the kernel runs exactly once per plan node.
+
+The contract has three invariants the executor (and the tests) rely on:
+
+1. **Single evaluation** — a kernel runs at most once per distinct plan
+   subtree per query; estimators may run any number of times.  Kernels
+   report each invocation through :func:`record_kernel_invocation` so
+   tests can pin the counts.
+2. **Stats determinism** — the stats record is a pure function of the
+   input data and operator arguments, never of the device, the morsel
+   granularity or the schedule.  Simulated seconds derive only from stats,
+   which is what keeps timing figures reproducible.
+3. **Morsel transparency** — every relational-operator kernel the
+   executor drives (filter/project, the hash/radix joins, the hash
+   aggregate) accepts a ``morsel_rows`` argument.  *Streaming* operators
+   (filter/project, the hash join's probe phase, exchange routing)
+   evaluate one bounded morsel at a time and concatenate; *breakers*
+   (aggregates, join build sides, radix partitioning) consume their
+   entire input morsel stream through a
+   :class:`~repro.storage.morsel.MorselSink` before emitting.  Either way
+   the output columns and the stats are bit-identical to whole-column
+   evaluation — only the peak working set and the wall-clock schedule
+   change.  (Helper kernels that already operate on bounded inputs —
+   ``merge_partials_kernel`` over per-device partials, the single-pass
+   ``radix_partition_kernel`` — take no such argument.)
 
 The classic combined functions (``apply_filter_project``,
 ``non_partitioned_join``, ...) remain as thin wrappers that call the kernel
@@ -19,10 +47,6 @@ themselves — the executor decides how costs map onto the timeline
 (sequential chains, parallel instances, overlapped transfers).  This
 separation keeps the operators unit-testable and lets the paper-scale
 analytic models reuse the exact same costing code.
-
-Kernels report each invocation through :func:`record_kernel_invocation`;
-the counters let tests assert that a plan node's functional work is
-evaluated exactly once regardless of how many device kinds cost it.
 """
 
 from __future__ import annotations

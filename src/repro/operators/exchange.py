@@ -4,12 +4,16 @@ These are the paper's trait converters (Sections 3 and 4.2).  They operate
 on packets (:class:`~repro.storage.block.Block`) and never look at packet
 payloads — routing decisions use only packet metadata, which is exactly the
 property the data-packing trait guarantees.
+
+Exchange is a *streaming* stage of the morsel pipeline: a router forwards
+each morsel to a consumer the moment it arrives (:func:`route_morsels`),
+without waiting for — or ever holding — the whole batch.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Sequence
+from typing import Iterable, Iterator, Sequence
 
 import numpy as np
 
@@ -18,6 +22,7 @@ from ..hardware.device import Device
 from ..hardware.topology import Topology
 from ..relational.physical import RoutingPolicy
 from ..storage.block import Block
+from ..storage.morsel import Morsel
 from .base import OpCost
 
 
@@ -87,6 +92,22 @@ class Router:
     def assignments(self) -> dict[str, int]:
         """Bytes assigned per consumer so far."""
         return dict(self.state.assigned_bytes)
+
+
+def route_morsels(router: Router, morsels: Iterable[Morsel], *,
+                  location: str) -> Iterator[tuple[Device, Morsel]]:
+    """Stream a morsel sequence through a router, one decision per morsel.
+
+    Each morsel is wrapped as a packet (metadata only, zero copy) and
+    assigned to a consumer as soon as it arrives — the streaming half of
+    the morsel contract for exchange operators.  Yields ``(device,
+    morsel)`` pairs in arrival order; the router's byte accounting
+    (:meth:`Router.assignments`) accumulates exactly as it would for
+    whole-batch packets.
+    """
+    for morsel in morsels:
+        device = router.route(morsel.to_block(location))
+        yield device, morsel
 
 
 def device_crossing_cost(device: Device) -> OpCost:

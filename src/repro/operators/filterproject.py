@@ -5,11 +5,18 @@ pipeline; the cost model therefore charges one streaming pass over the
 referenced input columns plus the vectorized compute, with *no*
 materialization of intermediates — the contrast with the vector-at-a-time
 baseline (DBMS C), which pays one in-cache materialization per primitive.
+
+Filter/project is a *streaming* operator under the morsel contract (see
+:mod:`repro.operators`): :func:`filter_project_morsel` transforms one
+morsel independently of every other, so :func:`filter_project_kernel` with
+``morsel_rows`` set evaluates the batch morsel-at-a-time and concatenates —
+bit-identical output and stats, bounded per-morsel working set (predicate
+masks and expression temporaries never exceed one morsel).
 """
 
 from __future__ import annotations
 
-from typing import Mapping
+from typing import Iterable, Iterator, Mapping
 
 import numpy as np
 
@@ -17,6 +24,7 @@ from dataclasses import dataclass
 
 from ..hardware.device import Device
 from ..relational.expr import Expr
+from ..storage.morsel import Morsel, concat_columns, iter_morsels
 from .base import (
     ArrayMap,
     OpCost,
@@ -69,31 +77,19 @@ class FilterProjectStats:
     touched_bytes: int
 
 
-def filter_project_kernel(
+def filter_project_morsel(
         columns: Mapping[str, np.ndarray], *,
         predicate: Expr | None = None,
         projections: Mapping[str, Expr] | None = None,
-) -> tuple[ArrayMap, FilterProjectStats]:
-    """Evaluate the fused filter/project once; device-independent.
+) -> ArrayMap:
+    """Transform one morsel (or a whole batch) of columns; pure, no stats.
 
-    Returns the output columns plus the :class:`FilterProjectStats` that
-    :func:`estimate_filter_project` consumes to cost the pass on any device.
+    This is the per-morsel body both execution paths share: masking and
+    expression evaluation are row-local, so applying it slice-by-slice and
+    concatenating reproduces the whole-batch result exactly.
     """
-    record_kernel_invocation("filter_project")
     columns = {name: np.asarray(values) for name, values in columns.items()}
     num_rows = columns_num_rows(columns)
-
-    referenced: set[str] = set()
-    if predicate is not None:
-        referenced |= predicate.columns()
-    if projections:
-        for expr in projections.values():
-            referenced |= expr.columns()
-    if not referenced:
-        referenced = set(columns)
-    touched = sum(
-        columns[name].nbytes for name in referenced if name in columns
-    )
 
     working: ArrayMap = dict(columns)
     if predicate is not None and num_rows:
@@ -111,9 +107,69 @@ def filter_project_kernel(
                 values = np.full(selectivity_rows, values)
             projected[alias] = values
         working = projected
+    return working
 
-    return working, FilterProjectStats(num_rows=num_rows,
-                                       touched_bytes=int(touched))
+
+def filter_project_morsels(
+        morsels: Iterable[Morsel], *,
+        predicate: Expr | None = None,
+        projections: Mapping[str, Expr] | None = None,
+) -> Iterator[ArrayMap]:
+    """Stream a morsel sequence through the fused filter/project.
+
+    Yields one output batch per input morsel; concatenating the outputs
+    equals the whole-batch result.  This is the streaming surface a morsel
+    scheduler (or a downstream streaming operator) consumes.
+    """
+    for morsel in morsels:
+        yield filter_project_morsel(morsel.columns, predicate=predicate,
+                                    projections=projections)
+
+
+def filter_project_kernel(
+        columns: Mapping[str, np.ndarray], *,
+        predicate: Expr | None = None,
+        projections: Mapping[str, Expr] | None = None,
+        morsel_rows: int | None = None,
+) -> tuple[ArrayMap, FilterProjectStats]:
+    """Evaluate the fused filter/project once; device-independent.
+
+    Returns the output columns plus the :class:`FilterProjectStats` that
+    :func:`estimate_filter_project` consumes to cost the pass on any device.
+
+    With ``morsel_rows`` set, the batch is evaluated morsel-at-a-time
+    (bounding the working set of masks and expression temporaries) and the
+    per-morsel outputs are concatenated; results and stats are bit-identical
+    to the whole-batch evaluation.
+    """
+    record_kernel_invocation("filter_project")
+    columns = {name: np.asarray(values) for name, values in columns.items()}
+    num_rows = columns_num_rows(columns)
+
+    referenced: set[str] = set()
+    if predicate is not None:
+        referenced |= predicate.columns()
+    if projections:
+        for expr in projections.values():
+            referenced |= expr.columns()
+    if not referenced:
+        referenced = set(columns)
+    touched = sum(
+        columns[name].nbytes for name in referenced if name in columns
+    )
+    stats = FilterProjectStats(num_rows=num_rows, touched_bytes=int(touched))
+
+    if (morsel_rows is None or num_rows <= morsel_rows
+            or (predicate is None and not projections)):
+        # A pass-through (no predicate, no projections) copies nothing in
+        # the whole-batch path; morselizing it would only add a concat.
+        return filter_project_morsel(columns, predicate=predicate,
+                                     projections=projections), stats
+
+    parts = list(filter_project_morsels(
+        iter_morsels(columns, morsel_rows),
+        predicate=predicate, projections=projections))
+    return concat_columns(parts), stats
 
 
 def estimate_filter_project(stats: FilterProjectStats, device: Device, *,

@@ -25,6 +25,7 @@ from ..errors import ExecutionError
 from ..hardware.costmodel import AccessProfile
 from ..hardware.device import Device
 from ..hardware.specs import DeviceSpec
+from ..storage.morsel import MorselSink, iter_morsels
 from .base import (
     ArrayMap,
     OpCost,
@@ -161,13 +162,22 @@ def gpu_partitioned_join_kernel(
         build_keys: Sequence[str],
         probe_keys: Sequence[str],
         spec: DeviceSpec,
+        morsel_rows: int | None = None,
 ) -> tuple[ArrayMap, GpuJoinStats]:
     """Evaluate the in-GPU partitioned join once.
 
     ``spec`` only supplies the scratchpad-derived tuning knobs; the data
     path itself is device-invariant.
+
+    Like the CPU radix join, this is a pipeline breaker on both sides:
+    with ``morsel_rows`` set, each input is consumed as a morsel stream
+    (zero-copy sinks for resident batches) before partitioning, keeping
+    results and pass shapes bit-identical for every morsel size.
     """
     record_kernel_invocation("gpu_partitioned_join")
+    if morsel_rows is not None:
+        build = MorselSink().extend(iter_morsels(build, morsel_rows)).finish()
+        probe = MorselSink().extend(iter_morsels(probe, morsel_rows)).finish()
     build = {name: np.asarray(values) for name, values in build.items()}
     probe = {name: np.asarray(values) for name, values in probe.items()}
     build = dict(build, __key=composite_key(build, build_keys))

@@ -11,17 +11,25 @@ Following the single-evaluation operator contract (see
 :mod:`repro.operators`), :func:`hash_join_kernel` computes the join result
 once while :func:`estimate_non_partitioned_join` prices the same work on any
 device from a :class:`JoinStats` record alone.
+
+Under the morsel contract the join is *build-then-probe*: the build side is
+a pipeline breaker (:class:`HashJoinBuild` consumes it entirely — morsel
+streams arrive through a :class:`~repro.storage.morsel.MorselSink`), after
+which the probe side streams: :meth:`HashJoinBuild.probe` matches one probe
+morsel at a time, and because the match list is ordered by probe position,
+concatenated per-morsel outputs equal the whole-column join bit for bit.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Mapping, Sequence
+from typing import Iterable, Mapping, Sequence
 
 import numpy as np
 
 from ..hardware.device import Device
-from ..relational.keys import composite_key_map, match_indices
+from ..relational.keys import JoinBuildIndex, composite_key_map, match_indices
+from ..storage.morsel import Morsel, MorselSink, concat_columns, iter_morsels
 from .base import (
     ArrayMap,
     OpCost,
@@ -83,23 +91,79 @@ class JoinStats:
     output_nbytes: int
 
 
+class HashJoinBuild:
+    """The build-then-probe state of the non-partitioned hash join.
+
+    Constructing it consumes the *entire* build side (the join's pipeline
+    breaker) and sorts the folded keys once — the simulated analogue of
+    building the global hash table.  :meth:`probe` then matches one probe
+    batch at a time; per-morsel probe outputs concatenate to exactly the
+    whole-column join result, so a morsel scheduler can stream the probe
+    side without changing a single output byte.
+    """
+
+    def __init__(self, build: Mapping[str, np.ndarray], *,
+                 build_keys: Sequence[str]) -> None:
+        self.columns = {name: np.asarray(values)
+                        for name, values in build.items()}
+        self.index = JoinBuildIndex(composite_key(self.columns, build_keys))
+
+    @classmethod
+    def from_morsels(cls, morsels: Iterable[Morsel], *,
+                     build_keys: Sequence[str]) -> "HashJoinBuild":
+        """Consume a build-side morsel stream, then build the index."""
+        sink = MorselSink().extend(morsels)
+        return cls(sink.finish(), build_keys=build_keys)
+
+    @property
+    def num_rows(self) -> int:
+        return columns_num_rows(self.columns)
+
+    @property
+    def nbytes(self) -> int:
+        return int(sum(v.nbytes for v in self.columns.values()))
+
+    def probe(self, probe: Mapping[str, np.ndarray], *,
+              probe_keys: Sequence[str]) -> ArrayMap:
+        """Join one probe batch (whole side or a single morsel)."""
+        probe = {name: np.asarray(values) for name, values in probe.items()}
+        build_indices, probe_indices = self.index.probe(
+            composite_key(probe, probe_keys))
+        return _materialize_join(self.columns, probe,
+                                 build_indices, probe_indices)
+
+
 def hash_join_kernel(build: Mapping[str, np.ndarray],
                      probe: Mapping[str, np.ndarray], *,
                      build_keys: Sequence[str],
-                     probe_keys: Sequence[str]) -> tuple[ArrayMap, JoinStats]:
-    """Evaluate the equi-join once; device-independent."""
+                     probe_keys: Sequence[str],
+                     morsel_rows: int | None = None,
+                     ) -> tuple[ArrayMap, JoinStats]:
+    """Evaluate the equi-join once; device-independent.
+
+    With ``morsel_rows`` set, the probe side streams through the build
+    state morsel-at-a-time (build-then-probe); output and stats are
+    bit-identical to the whole-column evaluation.
+    """
     record_kernel_invocation("hash_join")
-    build = {name: np.asarray(values) for name, values in build.items()}
+    if morsel_rows is None:
+        builder = HashJoinBuild(build, build_keys=build_keys)
+    else:
+        builder = HashJoinBuild.from_morsels(
+            iter_morsels(build, morsel_rows), build_keys=build_keys)
     probe = {name: np.asarray(values) for name, values in probe.items()}
-    build_composite = composite_key(build, build_keys)
-    probe_composite = composite_key(probe, probe_keys)
-    build_indices, probe_indices = join_match_indices(build_composite,
-                                                      probe_composite)
-    columns = _materialize_join(build, probe, build_indices, probe_indices)
+    probe_rows = columns_num_rows(probe)
+    if morsel_rows is None or probe_rows <= morsel_rows:
+        columns = builder.probe(probe, probe_keys=probe_keys)
+    else:
+        columns = concat_columns([
+            builder.probe(morsel.columns, probe_keys=probe_keys)
+            for morsel in iter_morsels(probe, morsel_rows)
+        ])
     stats = JoinStats(
-        build_rows=columns_num_rows(build),
-        probe_rows=columns_num_rows(probe),
-        build_nbytes=int(sum(v.nbytes for v in build.values())),
+        build_rows=builder.num_rows,
+        probe_rows=probe_rows,
+        build_nbytes=builder.nbytes,
         probe_nbytes=int(sum(v.nbytes for v in probe.values())),
         output_nbytes=int(sum(v.nbytes for v in columns.values())),
     )
@@ -154,6 +218,7 @@ def build_table_bytes(build_rows: int) -> int:
 
 __all__ = [
     "HASH_ENTRY_BYTES",
+    "HashJoinBuild",
     "JoinStats",
     "build_table_bytes",
     "composite_key",

@@ -31,6 +31,7 @@ import numpy as np
 
 from ..hardware.device import Device
 from ..hardware.specs import DeviceKind, DeviceSpec
+from ..storage.morsel import MorselSink, iter_morsels
 from .base import (
     ArrayMap,
     OpCost,
@@ -290,13 +291,24 @@ def cpu_radix_join_kernel(
         build_keys: Sequence[str],
         probe_keys: Sequence[str],
         spec: DeviceSpec,
+        morsel_rows: int | None = None,
 ) -> tuple[ArrayMap, CpuRadixJoinStats]:
     """Evaluate the partitioned CPU join once.
 
     ``spec`` only supplies the partitioning *tuning knobs* (fan-out limits,
     cache targets); the data path itself is device-invariant.
+
+    The radix join breaks the pipeline on *both* sides — multi-pass
+    partitioning needs each input in full.  With ``morsel_rows`` set, both
+    sides are consumed as morsel streams into
+    :class:`~repro.storage.morsel.MorselSink` instances (zero-copy for
+    resident batches) before partitioning, so results and recorded pass
+    shapes are bit-identical for every morsel size.
     """
     record_kernel_invocation("cpu_radix_join")
+    if morsel_rows is not None:
+        build = MorselSink().extend(iter_morsels(build, morsel_rows)).finish()
+        probe = MorselSink().extend(iter_morsels(probe, morsel_rows)).finish()
     build = {name: np.asarray(values) for name, values in build.items()}
     probe = {name: np.asarray(values) for name, values in probe.items()}
     build = dict(build, __key=composite_key(build, build_keys))

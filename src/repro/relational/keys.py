@@ -60,6 +60,69 @@ def composite_key_map(columns: Mapping[str, np.ndarray],
                      num_rows=num_rows)
 
 
+class JoinBuildIndex:
+    """Sorted key index over a join's build side (build once, probe many).
+
+    The build-then-probe surface of every equi-join: constructing the index
+    sorts the build keys once; :meth:`probe` can then be called per probe
+    batch — the whole probe side at once, or one morsel at a time.  Because
+    each probe batch is matched independently and results are ordered by
+    probe position, concatenating per-morsel probe results reproduces the
+    whole-column match list bit for bit.
+    """
+
+    __slots__ = ("order", "sorted_keys", "unique_keys")
+
+    def __init__(self, left_keys: np.ndarray) -> None:
+        left_keys = np.asarray(left_keys)
+        self.order = np.argsort(left_keys, kind="stable")
+        self.sorted_keys = left_keys[self.order]
+        self.unique_keys = not np.any(
+            self.sorted_keys[1:] == self.sorted_keys[:-1])
+
+    @property
+    def num_rows(self) -> int:
+        return int(len(self.sorted_keys))
+
+    def probe(self, right_keys: np.ndarray,
+              ) -> tuple[np.ndarray, np.ndarray]:
+        """Positions of all matching ``(left, right)`` pairs for one batch.
+
+        The result is ordered by right index, ties ordered by ascending
+        left index — the same order a nested dictionary lookup would
+        produce.
+        """
+        right_keys = np.asarray(right_keys)
+        sorted_keys = self.sorted_keys
+        empty = (np.asarray([], dtype=np.int64),
+                 np.asarray([], dtype=np.int64))
+        if len(sorted_keys) == 0 or len(right_keys) == 0:
+            return empty
+        if self.unique_keys:
+            # Unique build keys (the common PK-FK case): one binary search
+            # and a membership test instead of the two-sided search below.
+            positions = np.searchsorted(sorted_keys, right_keys, side="left")
+            positions = np.minimum(positions, len(sorted_keys) - 1)
+            matched = sorted_keys[positions] == right_keys
+            right_indices = np.flatnonzero(matched)
+            if len(right_indices) == 0:
+                return empty
+            left_indices = self.order[positions[right_indices]]
+            return left_indices.astype(np.int64), right_indices.astype(np.int64)
+        left = np.searchsorted(sorted_keys, right_keys, side="left")
+        right = np.searchsorted(sorted_keys, right_keys, side="right")
+        counts = right - left
+        right_indices = np.repeat(np.arange(len(right_keys)), counts)
+        if len(right_indices) == 0:
+            return empty
+        # For each probe tuple, enumerate the run of matching build positions.
+        starts = np.repeat(left, counts)
+        run_offsets = np.arange(len(right_indices)) - np.repeat(
+            np.cumsum(counts) - counts, counts)
+        left_indices = self.order[starts + run_offsets]
+        return left_indices.astype(np.int64), right_indices.astype(np.int64)
+
+
 def match_indices(left_keys: np.ndarray,
                   right_keys: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
     """Positions of all matching ``(left, right)`` pairs for an equi-join.
@@ -67,35 +130,7 @@ def match_indices(left_keys: np.ndarray,
     Vectorized with one stable sort of the left (build) side plus binary
     searches from the right (probe) side; handles duplicate left keys.  The
     result is ordered by right index, ties ordered by ascending left index —
-    the same order a nested dictionary lookup would produce.
+    the same order a nested dictionary lookup would produce.  Equivalent to
+    ``JoinBuildIndex(left_keys).probe(right_keys)``.
     """
-    left_keys = np.asarray(left_keys)
-    right_keys = np.asarray(right_keys)
-    empty = (np.asarray([], dtype=np.int64), np.asarray([], dtype=np.int64))
-    if len(left_keys) == 0 or len(right_keys) == 0:
-        return empty
-    order = np.argsort(left_keys, kind="stable")
-    sorted_keys = left_keys[order]
-    if not np.any(sorted_keys[1:] == sorted_keys[:-1]):
-        # Unique build keys (the common PK-FK case): one binary search and a
-        # membership test instead of the two-sided search below.
-        positions = np.searchsorted(sorted_keys, right_keys, side="left")
-        positions = np.minimum(positions, len(sorted_keys) - 1)
-        matched = sorted_keys[positions] == right_keys
-        right_indices = np.flatnonzero(matched)
-        if len(right_indices) == 0:
-            return empty
-        left_indices = order[positions[right_indices]]
-        return left_indices.astype(np.int64), right_indices.astype(np.int64)
-    left = np.searchsorted(sorted_keys, right_keys, side="left")
-    right = np.searchsorted(sorted_keys, right_keys, side="right")
-    counts = right - left
-    right_indices = np.repeat(np.arange(len(right_keys)), counts)
-    if len(right_indices) == 0:
-        return empty
-    # For each probe tuple, enumerate the run of matching build positions.
-    starts = np.repeat(left, counts)
-    run_offsets = np.arange(len(right_indices)) - np.repeat(
-        np.cumsum(counts) - counts, counts)
-    left_indices = order[starts + run_offsets]
-    return left_indices.astype(np.int64), right_indices.astype(np.int64)
+    return JoinBuildIndex(left_keys).probe(right_keys)

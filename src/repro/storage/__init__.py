@@ -1,6 +1,14 @@
 """Columnar storage substrate: columns, tables, catalog, packets, data gen."""
 
 from .block import Block, blocks_from_table, concat_blocks
+from .morsel import (
+    DEFAULT_MORSEL_ROWS,
+    Morsel,
+    MorselSink,
+    concat_columns,
+    iter_morsels,
+    morsel_count,
+)
 from .catalog import Catalog, TableStats
 from .column import Column
 from .datagen import (
@@ -44,6 +52,7 @@ __all__ = [
     "Catalog",
     "Column",
     "DATE",
+    "DEFAULT_MORSEL_ROWS",
     "DICT32",
     "DataType",
     "Dictionary",
@@ -53,6 +62,8 @@ __all__ = [
     "INT64",
     "JoinWorkload",
     "MICROBENCH_TUPLE_BYTES",
+    "Morsel",
+    "MorselSink",
     "NATIONS",
     "REGIONS",
     "TPCHDataset",
@@ -60,14 +71,17 @@ __all__ = [
     "TableStats",
     "blocks_from_table",
     "concat_blocks",
+    "concat_columns",
     "date_to_int",
     "dtype_from_name",
     "generate_tpch",
     "int_to_date",
+    "iter_morsels",
     "make_join_pair",
     "make_join_relation",
     "make_partial_match_pair",
     "make_skewed_relation",
+    "morsel_count",
     "tpch_cardinalities",
     "working_set_bytes",
     "year_of",
