@@ -1,11 +1,17 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test examples bench bench-full
+.PHONY: test examples bench bench-full docs-check
 
 ## Tier-1 test suite (what CI runs).
 test:
 	$(PYTHON) -m pytest -x -q
+
+## Docs consistency (CI runs this too): python snippets in README.md and
+## docs/*.md must parse, their imports/symbol references must resolve
+## against the package, and referenced repo paths must exist.
+docs-check:
+	$(PYTHON) tools/check_docs.py
 
 ## Run every docs-facing example script (CI runs this too, so the
 ## quickstart and tours referenced from README.md cannot rot).

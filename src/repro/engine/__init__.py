@@ -1,11 +1,19 @@
-"""HAPE engine: optimizer, executor and the public engine facade."""
+"""HAPE engine: optimizer, executor, query cache and the engine facade."""
 
 from .executor import ExecutionResult, Executor, ExecutorOptions, MorselScheduler
 from .modes import ExecutionMode
 from .optimizer import Optimizer, OptimizerOptions
+from .querycache import (
+    DEFAULT_CACHE_BUDGET_BYTES,
+    CacheCounters,
+    QueryCache,
+    QueryCacheStats,
+)
 from .session import HAPEEngine, QueryResult, Session
 
 __all__ = [
+    "CacheCounters",
+    "DEFAULT_CACHE_BUDGET_BYTES",
     "ExecutionMode",
     "ExecutionResult",
     "Executor",
@@ -14,6 +22,8 @@ __all__ = [
     "MorselScheduler",
     "Optimizer",
     "OptimizerOptions",
+    "QueryCache",
+    "QueryCacheStats",
     "QueryResult",
     "Session",
 ]

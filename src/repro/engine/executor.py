@@ -11,11 +11,20 @@ charged to the interconnect link it crosses.  The makespan of the resulting
 timeline is the "execution time" the evaluation figures report.
 
 Because kernels are device-invariant, their results are additionally
-memoized by the structural key of the subplan that produced them: a
-repeated subplan (the same dimension scan or build side appearing under
-several operators) is evaluated functionally once per
-:meth:`Executor.execute` call, while its cost is still charged per
-occurrence — simulated timings are unaffected by the memoization.
+memoized by the structural key of the subplan that produced them — and the
+memo lives for the whole *session*, not one query: the executor owns a
+:class:`~repro.engine.querycache.QueryCache` that retains kernel results
+across :meth:`Executor.execute` calls, keyed by catalog-versioned
+structural keys, bounded by an LRU byte budget
+(``ExecutorOptions.cache_budget_bytes``) and invalidated exactly when the
+catalog replaces or drops a table an entry read.  A repeated subplan (the
+same dimension scan or build side appearing under several operators, or
+the same build recurring across a dashboard's queries) is evaluated
+functionally once while warm, while its cost is still charged per
+occurrence per query — simulated timings are bit-identical whether a query
+runs cold or warm.  A per-query overlay on top of the session cache keeps
+within-plan repeats single-evaluated even when the session cache is
+disabled (``cache_budget_bytes=0``) or an entry does not fit the budget.
 
 Morsel-driven batching
 ----------------------
@@ -79,12 +88,19 @@ from ..relational.physical import (
     PScan,
     PSort,
     Router,
+    referenced_tables,
     structural_key,
 )
 from ..storage.catalog import Catalog
 from ..storage.column import Column
 from ..storage.morsel import DEFAULT_MORSEL_ROWS, morsel_count
 from ..storage.table import Table
+from .querycache import (
+    DEFAULT_CACHE_BUDGET_BYTES,
+    CacheCounters,
+    QueryCache,
+    result_nbytes,
+)
 
 _KernelResult = TypeVar("_KernelResult")
 
@@ -104,6 +120,12 @@ class ExecutorOptions:
     #: (whole-column packets).  Wall-clock/working-set only — simulated
     #: seconds are identical for every setting.
     morsel_rows: int | None = DEFAULT_MORSEL_ROWS
+    #: Byte budget of the session-lifetime cross-query kernel cache
+    #: (:mod:`repro.engine.querycache`): ``0`` disables cross-query
+    #: caching, ``None`` lifts the bound.  Wall-clock only — cost is
+    #: charged per occurrence regardless of cache hits, so simulated
+    #: seconds are identical for every setting.
+    cache_budget_bytes: int | None = DEFAULT_CACHE_BUDGET_BYTES
 
 
 @dataclass
@@ -183,8 +205,13 @@ class ExecutionResult:
     plan: PhysicalOp
     #: Morsels the scheduler dispatched to kernels for this query: one per
     #: input batch that fits a single morsel, more when batches stream,
-    #: zero when batching is disabled (``morsel_rows=None``).
+    #: zero when batching is disabled (``morsel_rows=None``) and for
+    #: kernel evaluations the session cache served.
     morsels_dispatched: int = 0
+    #: Session-cache activity attributable to this query: hits/misses of
+    #: distinct subplans, evictions during the query, plus invalidations
+    #: since the previous query (catalog changes happen between executes).
+    cache: CacheCounters = field(default_factory=CacheCounters)
 
     def utilization(self, resource: str) -> float:
         if self.simulated_seconds <= 0:
@@ -201,12 +228,24 @@ class Executor:
         self.catalog = catalog
         self.options = options or ExecutorOptions()
         self.scheduler = MorselScheduler(morsel_rows=None)
-        # Routes through the validating knob so an invalid morsel_rows in
-        # the options fails here, not mid-query.
+        # Routes through the validating knobs so an invalid morsel_rows or
+        # cache_budget_bytes in the options fails here, not mid-query.
         self.configure_morsels(self.options.morsel_rows)
-        self._kernel_memo: dict[tuple, dict[object, object]] = {}
+        #: Session-lifetime cross-query kernel cache; subscribes to the
+        #: catalog so table replacement/drop invalidates exactly the
+        #: entries that read the changed table.
+        self.query_cache = QueryCache(budget_bytes=None)
+        self.configure_cache(self.options.cache_budget_bytes)
+        catalog.subscribe(self.query_cache.invalidate_table)
+        self._cache_mark = self.query_cache.counters()
+        # Per-query state: an overlay memo over the session cache (keeps
+        # within-plan repeats single-evaluated regardless of cache budget),
+        # the structural-key id-cache for the current plan, and the
+        # remaining-occurrence counts that bound the overlay's footprint.
+        self._query_memo: dict[tuple, dict[object, object]] = {}
         self._key_cache: dict[int, tuple] = {}
         self._key_refs: dict[tuple, int] = {}
+        self._table_versions: dict[str, int] = {}
 
     def configure_morsels(self, morsel_rows: int | None) -> None:
         """Re-tune the morsel granularity (the ``morsel_rows`` knob)."""
@@ -215,22 +254,42 @@ class Executor:
         self.options = replace(self.options, morsel_rows=morsel_rows)
         self.scheduler.morsel_rows = morsel_rows
 
+    def configure_cache(self, cache_budget_bytes: int | None) -> None:
+        """Re-tune the session cache budget (``cache_budget_bytes`` knob).
+
+        Shrinking evicts LRU entries down to the new budget immediately;
+        ``0`` disables cross-query caching, ``None`` lifts the bound.
+        """
+        self.query_cache.set_budget(cache_budget_bytes)
+        self.options = replace(self.options,
+                               cache_budget_bytes=self.query_cache.budget_bytes)
+
     # ------------------------------------------------------------------
     def execute(self, plan: PhysicalOp) -> ExecutionResult:
         """Run a physical plan and report result plus simulated timing."""
         self.topology.reset()
         self.scheduler.reset()
-        self._kernel_memo = {}
+        self._query_memo = {}
         self._key_cache = {}
+        # Snapshot the catalog versions once: the catalog cannot change
+        # mid-query, and cached structural keys embed these versions.
+        self._table_versions = self.catalog.table_versions
         self._key_refs = self._count_kernel_occurrences(plan)
         try:
             result = self._execute(plan)
         finally:
-            # Entries are evicted after their last structural occurrence;
-            # clear the rest so idle engines pin no intermediate columns.
-            self._kernel_memo = {}
+            # Overlay entries are evicted after their last structural
+            # occurrence; clear the rest so only the budget-bounded
+            # session cache (self.query_cache) outlives the query.
+            self._query_memo = {}
             self._key_cache = {}
             self._key_refs = {}
+            # Advance the counter mark even on failure, so an aborted
+            # query's cache activity is not misattributed to the next
+            # query's per-query delta.
+            counters = self.query_cache.counters()
+            cache_delta = counters.since(self._cache_mark)
+            self._cache_mark = counters
         timeline = self.topology.timeline()
         makespan = max(timeline.makespan, result.ready)
         table = Table("result", [Column(name, values)
@@ -244,19 +303,30 @@ class Executor:
                         for link in self.topology.links},
             plan=plan,
             morsels_dispatched=self.scheduler.morsels_dispatched,
+            cache=cache_delta,
         )
 
     # ------------------------------------------------------------------
     # Helpers
     # ------------------------------------------------------------------
+    def _structural(self, node: PhysicalOp) -> tuple:
+        """Catalog-versioned structural key of a subtree (per-plan cached)."""
+        return structural_key(node, self._key_cache,
+                              table_versions=self._table_versions)
+
     def _memoized_kernel(self, node: PhysicalOp,
                          run: Callable[[], _KernelResult],
-                         tuning: object = None) -> _KernelResult:
+                         tuning: object = None, *,
+                         zero_copy: bool = False) -> _KernelResult:
         """Evaluate a functional kernel at most once per distinct subplan.
 
-        Keyed by the structural key of the subtree rooted at ``node``, so a
-        repeated subplan reuses the columns (and stats) of its first
-        evaluation.  Costing happens outside this cache, per occurrence.
+        Keyed by the catalog-versioned structural key of the subtree rooted
+        at ``node``.  Lookups go through two layers: the per-query overlay
+        first (within-plan repeats, not counted as cache traffic), then the
+        session-lifetime :class:`QueryCache` (cross-query reuse, counted as
+        hits/misses per distinct subplan).  Misses evaluate the kernel and
+        retain the result in both layers; costing happens outside this
+        cache, per occurrence, so simulated seconds never observe it.
 
         ``tuning`` must identify any device-spec-derived knobs the kernel
         bakes into its result or inherits from its inputs (partition plans
@@ -264,19 +334,34 @@ class Executor:
         occurrences only share an evaluation when their tuning matches,
         keeping per-occurrence cost replays and row orders exact.
 
-        An entry is evicted right after its *last* structural occurrence in
-        the plan so the memo only pins intermediates that can still be
-        reused, not every intermediate of the query.
+        ``zero_copy`` marks results whose columns are views over
+        catalog-resident arrays (base-table scans): they are retained at a
+        byte cost of 0 since they pin no memory beyond the catalog.
+
+        An overlay entry is evicted right after its *last* structural
+        occurrence in the plan, so the per-query layer only pins
+        intermediates that can still be reused within this plan; what
+        outlives the query is governed solely by the session cache's LRU
+        byte budget.
         """
-        key = structural_key(node, self._key_cache)
-        variants = self._kernel_memo.setdefault(key, {})
-        result = variants.get(tuning)
+        key = self._structural(node)
+        variants = self._query_memo.get(key)
+        result = None if variants is None else variants.get(tuning)
         if result is None:
-            result = run()
-            variants[tuning] = result
+            session_key = (key, tuning)
+            if self.query_cache.enabled:
+                result = self.query_cache.get(session_key)
+            if result is None:
+                result = run()
+                if self.query_cache.enabled:
+                    self.query_cache.put(
+                        session_key, result,
+                        nbytes=0 if zero_copy else result_nbytes(result),
+                        tables=referenced_tables(node))
+            self._query_memo.setdefault(key, {})[tuning] = result
         remaining = self._key_refs.get(key, 0) - 1
         if remaining <= 0:
-            self._kernel_memo.pop(key, None)
+            self._query_memo.pop(key, None)
             self._key_refs.pop(key, None)
         else:
             self._key_refs[key] = remaining
@@ -289,7 +374,7 @@ class Executor:
             if isinstance(node, (PScan, PFilterProject, PAggregate)) or (
                     isinstance(node, PJoin)
                     and node.algorithm is not JoinAlgorithm.COPROCESSED_RADIX):
-                key = structural_key(node, self._key_cache)
+                key = self._structural(node)
                 refs[key] = refs.get(key, 0) + 1
         return refs
 
@@ -384,8 +469,12 @@ class Executor:
     def _execute_scan(self, node: PScan) -> NodeResult:
         table = self.catalog.table(node.table)
         names = node.columns if node.columns else table.column_names
+        # Scan results are zero-copy views over catalog-resident arrays:
+        # cached at byte cost 0, they never compete with derived results
+        # for the session cache budget.
         columns = self._memoized_kernel(
-            node, lambda: {name: table.array(name) for name in names})
+            node, lambda: {name: table.array(name) for name in names},
+            zero_copy=True)
         return NodeResult(columns=columns, ready=0.0, location=table.location,
                           devices=self._default_devices())
 

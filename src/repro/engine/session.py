@@ -6,15 +6,22 @@ pipeline extraction and the executor.  A query is submitted as a logical
 plan; the result bundles the actual output table with the simulated timing
 information the evaluation figures are built from.
 
-One engine instance is one session: it owns the catalog and the execution
-knobs that hold across queries — most prominently :attr:`HAPEEngine.\
-morsel_rows`, the granularity of the morsel-driven batched execution.  The
-:data:`Session` alias exists for callers who think in session terms.
+One engine instance is one session: it owns the catalog, the
+session-lifetime cross-query kernel cache
+(:mod:`repro.engine.querycache`) and the execution knobs that hold across
+queries — most prominently :attr:`HAPEEngine.morsel_rows`, the granularity
+of the morsel-driven batched execution, and
+:attr:`HAPEEngine.cache_budget_bytes`, the retention budget of the query
+cache.  Repeated dashboard-style workloads therefore get warmer with every
+query: kernel results computed once (a dimension scan, a filtered build
+side) are reused functionally by later queries until the catalog
+invalidates them or the LRU budget evicts them.  The :data:`Session` alias
+exists for callers who think in session terms.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from ..codegen.pipeline import Pipeline, break_into_pipelines
 from ..hardware.topology import Topology, default_server
@@ -25,9 +32,11 @@ from ..storage.table import Table
 from .executor import ExecutionResult, Executor, ExecutorOptions
 from .modes import ExecutionMode
 from .optimizer import Optimizer, OptimizerOptions
+from .querycache import CacheCounters, QueryCacheStats
 
 #: Sentinel distinguishing "not passed" from an explicit ``None`` (which
-#: means "whole-column packets, no batching") for the ``morsel_rows`` knob.
+#: means "whole-column packets, no batching" for ``morsel_rows`` and
+#: "unlimited" for ``cache_budget_bytes``).
 _UNSET = object()
 
 
@@ -38,8 +47,11 @@ class QueryResult:
     The functional output lives in :attr:`table`; :attr:`simulated_seconds`
     and :attr:`device_busy` are what the paper's evaluation figures plot.
     :attr:`morsels_dispatched` reports how many morsels the executor's
-    scheduler carved for this query — a wall-clock/working-set diagnostic
-    that never influences the simulated timings.
+    scheduler carved for this query and :attr:`cache` reports the session
+    cache's hit/miss/evicted/invalidated activity attributable to it —
+    both are wall-clock/working-set diagnostics that never influence the
+    simulated timings (warm and cold runs report bit-identical simulated
+    seconds).
     """
 
     table: Table
@@ -50,6 +62,10 @@ class QueryResult:
     physical_plan: PhysicalOp
     pipelines: list[Pipeline]
     morsels_dispatched: int = 0
+    #: Cross-query kernel-cache counters for this query: hits/misses count
+    #: distinct subplans, ``invalidated`` covers catalog changes since the
+    #: previous query of the session.
+    cache: CacheCounters = field(default_factory=CacheCounters)
 
     @property
     def makespan_ms(self) -> float:
@@ -65,6 +81,8 @@ class QueryResult:
             f"mode={self.mode.value} simulated_time={self.simulated_seconds * 1e3:.3f} ms",
             f"result rows={self.table.num_rows}",
         ]
+        if self.cache.lookups or self.cache.evicted or self.cache.invalidated:
+            lines.append(f"  cache: {self.cache.describe()}")
         for resource, busy in sorted(self.device_busy.items()):
             if busy > 0:
                 lines.append(f"  {resource:>8}: busy {busy * 1e3:.3f} ms "
@@ -76,7 +94,10 @@ class HAPEEngine:
     """Heterogeneity-conscious Analytical query Processing Engine.
 
     The engine facade doubles as the *session* object: construct it once,
-    register tables, then submit any number of logical plans.
+    register tables, then submit any number of logical plans.  Kernel
+    results are cached across queries (see
+    :mod:`repro.engine.querycache`), so repeated plans get functionally
+    cheaper while reporting unchanged simulated timings.
 
     Parameters
     ----------
@@ -92,12 +113,21 @@ class HAPEEngine:
         batching (whole-column packets).  Simulated seconds are identical
         for every setting; only real wall-clock/memory behavior changes.
         Overrides ``executor_options.morsel_rows`` when both are given.
+    cache_budget_bytes:
+        Retention budget of the session's cross-query kernel cache, in
+        bytes of pinned result columns (LRU eviction).  ``0`` disables
+        cross-query caching, ``None`` lifts the bound.  Like
+        ``morsel_rows`` this is wall-clock only — simulated seconds are
+        identical for every setting.  Overrides
+        ``executor_options.cache_budget_bytes`` when both are given.
     """
 
     def __init__(self, topology: Topology | None = None, *,
                  optimizer_options: OptimizerOptions | None = None,
                  executor_options: ExecutorOptions | None = None,
-                 morsel_rows: int | None = _UNSET) -> None:  # type: ignore[assignment]
+                 morsel_rows: int | None = _UNSET,  # type: ignore[assignment]
+                 cache_budget_bytes: int | None = _UNSET,  # type: ignore[assignment]
+                 ) -> None:
         self.topology = topology if topology is not None else default_server()
         self.catalog = Catalog()
         self.optimizer = Optimizer(self.topology, self.catalog,
@@ -105,6 +135,8 @@ class HAPEEngine:
         self.executor = Executor(self.topology, self.catalog, executor_options)
         if morsel_rows is not _UNSET:
             self.executor.configure_morsels(morsel_rows)
+        if cache_budget_bytes is not _UNSET:
+            self.executor.configure_cache(cache_budget_bytes)
 
     # ------------------------------------------------------------------
     # Session knobs
@@ -115,6 +147,9 @@ class HAPEEngine:
 
         Assigning re-tunes the executor in place, so the knob can be swept
         within one session; results and simulated timings are unaffected.
+        Cached kernel results stay valid across re-tunes — outputs are
+        bit-identical for every morsel granularity, so the cache key
+        deliberately ignores this knob.
         """
         return self.executor.options.morsel_rows
 
@@ -122,11 +157,46 @@ class HAPEEngine:
     def morsel_rows(self, value: int | None) -> None:
         self.executor.configure_morsels(value)
 
+    @property
+    def cache_budget_bytes(self) -> int | None:
+        """Byte budget of the cross-query kernel cache.
+
+        Assigning re-tunes the cache in place: shrinking evicts LRU
+        entries down to the new budget immediately, ``0`` disables
+        cross-query caching, ``None`` lifts the bound.  Results and
+        simulated timings are unaffected by any setting.
+        """
+        return self.executor.options.cache_budget_bytes
+
+    @cache_budget_bytes.setter
+    def cache_budget_bytes(self, value: int | None) -> None:
+        self.executor.configure_cache(value)
+
+    @property
+    def cache_stats(self) -> QueryCacheStats:
+        """Session-lifetime snapshot of the query cache (counters + size)."""
+        return self.executor.query_cache.stats()
+
+    def clear_query_cache(self) -> None:
+        """Drop every cached kernel result (a session cache reset).
+
+        Subsequent queries run cold again.  Unlike catalog invalidation
+        this is not an observable cache event: counters are untouched.
+        """
+        self.executor.query_cache.clear()
+
     # ------------------------------------------------------------------
     # Catalog management
     # ------------------------------------------------------------------
     def register_table(self, table: Table, *, replace: bool = False) -> None:
-        """Register a table so plans can scan it."""
+        """Register a table so plans can scan it.
+
+        Re-registering an existing name requires ``replace=True`` and
+        invalidates exactly the cached kernel results that read the
+        replaced table (see :meth:`repro.storage.catalog.Catalog.register`
+        for the invalidation contract); cached results over other tables
+        stay warm.
+        """
         self.catalog.register(table, replace=replace)
 
     def register_dataset(self, tables: dict[str, Table], *,
@@ -134,6 +204,10 @@ class HAPEEngine:
         """Register a whole dataset (e.g. the TPC-H tables) at once."""
         for table in tables.values():
             self.register_table(table, replace=replace)
+
+    def drop_table(self, name: str) -> None:
+        """Drop a table; cached results that read it are invalidated."""
+        self.catalog.drop(name)
 
     # ------------------------------------------------------------------
     # Planning and execution
@@ -158,9 +232,12 @@ class HAPEEngine:
 
         Runs the full stack: heterogeneity-aware optimization for ``mode``
         (``"cpu"``, ``"gpu"`` or ``"hybrid"``), pipeline extraction, and
-        morsel-driven execution on the simulated topology.  The returned
-        :class:`QueryResult` carries both the functional answer and the
-        simulated timing/utilization breakdown.
+        morsel-driven execution on the simulated topology — with kernel
+        evaluations served from the session's cross-query cache when a
+        structurally identical subplan already ran against the same
+        catalog state.  The returned :class:`QueryResult` carries the
+        functional answer, the simulated timing/utilization breakdown and
+        the cache counters for this query.
         """
         mode = ExecutionMode.parse(mode)
         physical = self.plan(logical, mode)
@@ -175,9 +252,11 @@ class HAPEEngine:
             physical_plan=physical,
             pipelines=pipelines,
             morsels_dispatched=result.morsels_dispatched,
+            cache=result.cache,
         )
 
 
 #: Session-centric alias: one :class:`HAPEEngine` instance is one session
-#: (own catalog, own execution knobs such as ``morsel_rows``).
+#: (own catalog, own query cache, own execution knobs such as
+#: ``morsel_rows`` and ``cache_budget_bytes``).
 Session = HAPEEngine

@@ -20,7 +20,8 @@ per-device *tuning knobs*:
 The executor exploits the split twice: a plan node's kernel runs once while
 its cost is estimated per device kind, and kernel results are memoized by
 the structural key of their subplan so repeated subplans (shared dimension
-scans and build sides) are evaluated once per query.  The classic combined
+scans and build sides) are evaluated once per query — and, through the
+session's cross-query cache, once per session while warm.  The classic combined
 helpers (``apply_filter_project``, ``non_partitioned_join``,
 ``cpu_radix_join``, ``gpu_partitioned_join``, ``hash_aggregate``, ...)
 remain as kernel+estimate wrappers for single-device callers.

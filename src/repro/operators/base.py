@@ -19,9 +19,11 @@ device-invariant-skeleton / device-specific-knobs separation:
 The contract has three invariants the executor (and the tests) rely on:
 
 1. **Single evaluation** — a kernel runs at most once per distinct plan
-   subtree per query; estimators may run any number of times.  Kernels
-   report each invocation through :func:`record_kernel_invocation` so
-   tests can pin the counts.
+   subtree per query, and at most once per *session* while the engine's
+   cross-query cache (:mod:`repro.engine.querycache`) holds the subtree's
+   result; estimators may run any number of times.  Kernels report each
+   invocation through :func:`record_kernel_invocation` so tests can pin
+   the counts.
 2. **Stats determinism** — the stats record is a pure function of the
    input data and operator arguments, never of the device, the morsel
    granularity or the schedule.  Simulated seconds derive only from stats,

@@ -14,7 +14,7 @@ import dataclasses
 import enum
 import itertools
 from dataclasses import dataclass, field
-from typing import Iterator, Sequence
+from typing import Iterator, Mapping, Sequence
 
 from ..errors import PlanError
 from ..hardware.specs import DeviceKind
@@ -295,7 +295,8 @@ class Split(PhysicalOp):
 
 
 def structural_key(node: PhysicalOp,
-                   cache: dict[int, tuple] | None = None) -> tuple:
+                   cache: dict[int, tuple] | None = None, *,
+                   table_versions: Mapping[str, int] | None = None) -> tuple:
     """A hashable description of the *functional* computation of a subtree.
 
     Two nodes with equal structural keys produce identical output columns
@@ -303,21 +304,39 @@ def structural_key(node: PhysicalOp,
     expressions, key lists, algorithms and children, but deliberately skips
     ``traits`` and ``node_id`` — device placement changes cost, never
     results.  The executor uses this to evaluate repeated subplans (e.g. a
-    dimension scan feeding several joins) exactly once per ``execute`` call.
+    dimension scan feeding several joins) exactly once, and — through the
+    session-lifetime query cache — to reuse them across queries.
+
+    ``table_versions`` (name → catalog version, usually
+    :attr:`~repro.storage.catalog.Catalog.table_versions`) adds a
+    table-identity component to every scan in the subtree: the key of a
+    ``PScan`` folds in the catalog version of the table it reads, so keys
+    built against different registrations of the same table name never
+    compare equal.  This is what makes the key safe to use across queries:
+    ``register(replace=True)`` / ``drop`` bump the version and thereby
+    retire every cached key that read the old data.  Without
+    ``table_versions`` the key describes structure only, which is
+    sufficient inside a single ``execute`` call.
 
     ``cache`` (an ``id(node) -> key`` dict scoped to one plan traversal)
     makes repeated key requests over one plan linear instead of quadratic;
-    callers must discard it when the plan objects can be garbage collected.
+    callers must discard it when the plan objects can be garbage collected
+    — or when ``table_versions`` changes, since cached keys embed the
+    versions they were built with.
     """
     if cache is not None:
         cached = cache.get(id(node))
         if cached is not None:
             return cached
     parts: list[object] = [type(node).__name__]
+    if table_versions is not None and isinstance(node, PScan):
+        parts.append(("catalog-version",
+                      table_versions.get(node.table, -1)))
     for spec in dataclasses.fields(node):
         if spec.name in ("traits", "node_id"):
             continue
-        parts.append(_structural_field(getattr(node, spec.name), cache))
+        parts.append(_structural_field(getattr(node, spec.name), cache,
+                                       table_versions=table_versions))
     key = tuple(parts)
     if cache is not None:
         cache[id(node)] = key
@@ -325,21 +344,37 @@ def structural_key(node: PhysicalOp,
 
 
 def _structural_field(value: object,
-                      cache: dict[int, tuple] | None = None) -> object:
+                      cache: dict[int, tuple] | None = None, *,
+                      table_versions: Mapping[str, int] | None = None,
+                      ) -> object:
     if isinstance(value, PhysicalOp):
-        return structural_key(value, cache)
+        return structural_key(value, cache, table_versions=table_versions)
     if isinstance(value, Expr):
         return repr(value)
     if isinstance(value, AggregateSpec):
         return (value.func, repr(value.expr), value.alias)
     if isinstance(value, dict):
-        return tuple((name, _structural_field(item, cache))
+        return tuple((name, _structural_field(item, cache,
+                                              table_versions=table_versions))
                      for name, item in value.items())
     if isinstance(value, (tuple, list)):
-        return tuple(_structural_field(item, cache) for item in value)
+        return tuple(_structural_field(item, cache,
+                                       table_versions=table_versions)
+                     for item in value)
     if isinstance(value, enum.Enum):
         return value.value
     return value
+
+
+def referenced_tables(node: PhysicalOp) -> frozenset[str]:
+    """Names of every base table a subtree scans.
+
+    The query cache records this per entry so catalog invalidation
+    (``register(replace=True)`` / ``drop``) can discard exactly the cached
+    results that read the changed table.
+    """
+    return frozenset(child.table for child in node.walk()
+                     if isinstance(child, PScan))
 
 
 def count_operators(root: PhysicalOp) -> dict[str, int]:

@@ -341,6 +341,9 @@ class TestEngineMorselInvariance:
         engine.executor.execute(physical)
         with_morsels = kernel_counts()
         engine.morsel_rows = None
+        # Compare cold-vs-cold: without the reset the second run would be
+        # served by the session's cross-query cache and run zero kernels.
+        engine.clear_query_cache()
         reset_kernel_counts()
         engine.executor.execute(physical)
         assert kernel_counts() == with_morsels

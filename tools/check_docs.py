@@ -1,0 +1,158 @@
+#!/usr/bin/env python
+"""Docs-consistency check for README.md and docs/*.md (``make docs-check``).
+
+Documentation rots in three ways this script catches without executing
+anything heavyweight:
+
+1. **Python snippets stop parsing** — every fenced ```python block must be
+   valid syntax (``ast.parse``).
+2. **Imports/symbols drift** — every ``import``/``from ... import`` inside
+   a snippet must resolve against the actual package, and every inline
+   code span that names a dotted ``repro.*`` symbol must be importable (a
+   module) or reachable via ``getattr`` from one.
+3. **Paths go stale** — every inline code span that looks like a repo path
+   (contains a ``/``, no spaces/globs) must exist, tried relative to the
+   repository root, ``src/`` and ``src/repro/``.
+
+Exit status is non-zero with a per-file report when anything fails, so CI
+can gate on it.
+"""
+
+from __future__ import annotations
+
+import ast
+import importlib
+import re
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+if str(REPO / "src") not in sys.path:
+    sys.path.insert(0, str(REPO / "src"))
+
+#: Roots a path-looking span is resolved against, in order.
+PATH_ROOTS = (REPO, REPO / "src", REPO / "src" / "repro")
+
+FENCE = re.compile(r"^```(\w*)\s*$")
+INLINE_SPAN = re.compile(r"`([^`\n]+)`")
+DOTTED_SYMBOL = re.compile(r"^repro(\.[A-Za-z_]\w*)+$")
+
+
+def iter_documents() -> list[Path]:
+    return [REPO / "README.md", *sorted((REPO / "docs").glob("*.md"))]
+
+
+def split_markdown(text: str) -> tuple[list[tuple[str, str, int]], str]:
+    """Fenced code blocks as ``(lang, code, first_line)`` plus the prose."""
+    blocks: list[tuple[str, str, int]] = []
+    prose_lines: list[str] = []
+    lang: str | None = None
+    code: list[str] = []
+    start = 0
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        fence = FENCE.match(line)
+        if fence and lang is None:
+            lang, code, start = fence.group(1).lower(), [], lineno + 1
+        elif fence:
+            blocks.append((lang, "\n".join(code), start))
+            lang = None
+        elif lang is not None:
+            code.append(line)
+        else:
+            prose_lines.append(line)
+    return blocks, "\n".join(prose_lines)
+
+
+def resolve_symbol(dotted: str) -> bool:
+    """True when a ``repro.x.y`` span is a module or module attribute."""
+    parts = dotted.split(".")
+    for cut in range(len(parts), 0, -1):
+        try:
+            obj = importlib.import_module(".".join(parts[:cut]))
+        except ImportError:
+            continue
+        try:
+            for attribute in parts[cut:]:
+                obj = getattr(obj, attribute)
+        except AttributeError:
+            return False
+        return True
+    return False
+
+
+def looks_like_path(span: str) -> bool:
+    return ("/" in span and " " not in span and "*" not in span
+            and "(" not in span and "://" not in span
+            and not span.startswith("-"))
+
+
+def check_python_block(code: str, where: str, errors: list[str]) -> None:
+    try:
+        tree = ast.parse(code)
+    except SyntaxError as exc:
+        errors.append(f"{where}: snippet does not parse: {exc}")
+        return
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ImportFrom) and node.level == 0 and node.module:
+            try:
+                module = importlib.import_module(node.module)
+            except ImportError as exc:
+                errors.append(f"{where}: cannot import {node.module!r}: {exc}")
+                continue
+            for alias in node.names:
+                if alias.name == "*" or hasattr(module, alias.name):
+                    continue
+                try:
+                    importlib.import_module(f"{node.module}.{alias.name}")
+                except ImportError:
+                    errors.append(f"{where}: {node.module!r} has no "
+                                  f"symbol {alias.name!r}")
+        elif isinstance(node, ast.Import):
+            for alias in node.names:
+                try:
+                    importlib.import_module(alias.name)
+                except ImportError as exc:
+                    errors.append(f"{where}: cannot import "
+                                  f"{alias.name!r}: {exc}")
+
+
+def check_prose_spans(prose: str, where: str, errors: list[str]) -> None:
+    for span in INLINE_SPAN.findall(prose):
+        span = span.strip().rstrip(",.;:")
+        if DOTTED_SYMBOL.match(span):
+            if not resolve_symbol(span):
+                errors.append(f"{where}: dangling symbol reference "
+                              f"`{span}`")
+        elif looks_like_path(span):
+            if not any((root / span).exists() for root in PATH_ROOTS):
+                errors.append(f"{where}: referenced path `{span}` does "
+                              f"not exist")
+
+
+def main() -> int:
+    errors: list[str] = []
+    checked_blocks = 0
+    for document in iter_documents():
+        if not document.exists():
+            errors.append(f"{document}: missing")
+            continue
+        relative = document.relative_to(REPO)
+        blocks, prose = split_markdown(document.read_text())
+        for lang, code, lineno in blocks:
+            if lang in ("python", "py"):
+                checked_blocks += 1
+                check_python_block(code, f"{relative}:{lineno}", errors)
+        check_prose_spans(prose, str(relative), errors)
+    if errors:
+        print(f"docs-check: {len(errors)} problem(s) found")
+        for error in errors:
+            print(f"  {error}")
+        return 1
+    documents = len(iter_documents())
+    print(f"docs-check: OK ({documents} document(s), "
+          f"{checked_blocks} python snippet(s), all references resolve)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
