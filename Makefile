@@ -1,11 +1,28 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test examples bench bench-full docs-check
+.PHONY: test fuzz coverage examples bench bench-full docs-check
 
-## Tier-1 test suite (what CI runs).
+## Tier-1 test suite (what CI runs).  Includes 200 seeded differential
+## plan-fuzzing cases; `make fuzz` cranks the seed count.
 test:
 	$(PYTHON) -m pytest -x -q
+
+## Differential plan fuzzing with extra seeds (default 1000; override
+## with FUZZ_SEEDS=n).  Every failure message prints the reproducing
+## seed and plan, and seeds are stable across runs.
+FUZZ_SEEDS ?= 1000
+fuzz:
+	FUZZ_PLAN_CASES=$(FUZZ_SEEDS) $(PYTHON) -m pytest tests/test_fuzz_plans.py -q
+
+## Coverage-gated test run (CI job "coverage"; needs pytest-cov).  The
+## fail-under threshold is a ratchet: raise it when coverage grows,
+## never lower it.
+COV_FAIL_UNDER ?= 85
+coverage:
+	$(PYTHON) -m pytest -q --cov=repro \
+		--cov-report=term-missing:skip-covered \
+		--cov-fail-under=$(COV_FAIL_UNDER)
 
 ## Docs consistency (CI runs this too): python snippets in README.md and
 ## docs/*.md must parse, their imports/symbol references must resolve

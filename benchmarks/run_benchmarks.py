@@ -36,6 +36,7 @@ import platform
 import subprocess
 import sys
 import time
+import tracemalloc
 from pathlib import Path
 
 _REPO = Path(__file__).resolve().parent.parent
@@ -48,6 +49,7 @@ from repro.perf import JoinModels, TPCHModels  # noqa: E402
 from repro.storage import generate_tpch  # noqa: E402
 from repro.workloads import (  # noqa: E402
     all_queries,
+    build_query,
     run_all_variants,
     run_coprocessed_join,
 )
@@ -79,9 +81,11 @@ def suite_tpch(args: argparse.Namespace, topology) -> dict:
         # 0 disables batching (whole-column packets); anything else is the
         # morsel granularity.  Leaving the flag off uses the engine default.
         engine = HAPEEngine(topology, morsel_rows=args.morsel_rows or None,
-                            cache_budget_bytes=0)
+                            cache_budget_bytes=0,
+                            pipeline_fusion=args.fusion)
     else:
-        engine = HAPEEngine(topology, cache_budget_bytes=0)
+        engine = HAPEEngine(topology, cache_budget_bytes=0,
+                            pipeline_fusion=args.fusion)
     engine.register_dataset(dataset.tables, replace=True)
     queries = all_queries(dataset)
 
@@ -114,9 +118,10 @@ def suite_tpch_warm(args: argparse.Namespace, topology) -> dict:
     """
     dataset = generate_tpch(args.sf, seed=args.seed)
     if args.morsel_rows is not None:
-        engine = HAPEEngine(topology, morsel_rows=args.morsel_rows or None)
+        engine = HAPEEngine(topology, morsel_rows=args.morsel_rows or None,
+                            pipeline_fusion=args.fusion)
     else:
-        engine = HAPEEngine(topology)
+        engine = HAPEEngine(topology, pipeline_fusion=args.fusion)
     engine.register_dataset(dataset.tables, replace=True)
     queries = all_queries(dataset)
 
@@ -157,6 +162,57 @@ def suite_tpch_warm(args: argparse.Namespace, topology) -> dict:
         },
         "warm_simulated_seconds_identical": warm_simulated == cold_simulated,
         "simulated_seconds": cold_simulated,
+    }
+
+
+def suite_mem(args: argparse.Namespace, topology) -> dict:
+    """Peak intermediate memory of TPC-H Q5 hybrid (``tracemalloc``).
+
+    The memory acceptance benchmark of the morsel/fusion line of work:
+    executes Q5 in hybrid mode at ``--mem-sf`` (default 0.2, the scale the
+    PR 2 and PR 4 figures quote) under three engine configurations —
+    whole-column packets, morsel-driven batching, and morsel-driven
+    batching with pipeline fusion — reporting the tracemalloc peak of each
+    execution alongside wall-clock and simulated seconds.  Cross-query
+    caching is disabled so every run measures the cold intermediate
+    footprint, and simulated seconds must be identical across the three
+    variants (the knobs are wall-clock/working-set only).
+    """
+    dataset = generate_tpch(args.mem_sf, seed=args.seed)
+    query = build_query("Q5", dataset)
+    variants = {
+        "whole_column_packets": {"morsel_rows": None,
+                                 "pipeline_fusion": False},
+        "morsels": {"pipeline_fusion": False},
+        "morsels_fused": {"pipeline_fusion": True},
+    }
+    results: dict[str, dict] = {}
+    for name, knobs in variants.items():
+        engine = HAPEEngine(topology, cache_budget_bytes=0, **knobs)
+        engine.register_dataset(dataset.tables, replace=True)
+        best_wall = float("inf")
+        best_peak = None
+        simulated = None
+        for _ in range(max(args.repeat, 1)):
+            tracemalloc.start()
+            start = time.perf_counter()
+            run = engine.execute(query.plan, "hybrid")
+            wall = time.perf_counter() - start
+            _, peak = tracemalloc.get_traced_memory()
+            tracemalloc.stop()
+            best_wall = min(best_wall, wall)
+            best_peak = peak if best_peak is None else min(best_peak, peak)
+            simulated = run.simulated_seconds
+        results[name] = {
+            "peak_intermediate_bytes": best_peak,
+            "wall_clock_seconds": best_wall,
+            "simulated_seconds": simulated,
+        }
+    return {
+        "scale_factor": args.mem_sf,
+        "query": "Q5",
+        "mode": "hybrid",
+        "variants": results,
     }
 
 
@@ -260,11 +316,18 @@ def main(argv: list[str] | None = None) -> int:
                         help="morsel granularity for the TPC-H execution "
                              "suite (0 = whole-column packets; omit for the "
                              "engine default)")
+    parser.add_argument("--fusion", action=argparse.BooleanOptionalAction,
+                        default=True,
+                        help="pipeline-fused morsel streaming for the TPC-H "
+                             "execution suites (--no-fusion to materialize "
+                             "at every plan node)")
+    parser.add_argument("--mem-sf", type=float, default=0.2,
+                        help="TPC-H scale factor for the peak-memory suite")
     parser.add_argument("--output", type=Path,
                         default=_REPO / "BENCH_results.json")
     parser.add_argument("--suites", nargs="*",
                         default=["fig5", "fig6", "fig7", "fig8", "fig9",
-                                 "tpch", "tpch_warm"],
+                                 "tpch", "tpch_warm", "mem"],
                         help="subset of suites to run")
     args = parser.parse_args(argv)
 
@@ -280,6 +343,7 @@ def main(argv: list[str] | None = None) -> int:
         "fig9": lambda: suite_fig9(args, tpch_models),
         "tpch": lambda: suite_tpch(args, topology),
         "tpch_warm": lambda: suite_tpch_warm(args, topology),
+        "mem": lambda: suite_mem(args, topology),
     }
     suites = {}
     for name in args.suites:
@@ -291,6 +355,11 @@ def main(argv: list[str] | None = None) -> int:
         wall_keys = [key for key in suites[name] if key.startswith("wall")]
         summary = ", ".join(f"{key}={suites[name][key]:.3f}s"
                             for key in wall_keys)
+        if "variants" in suites[name]:
+            summary = ", ".join(
+                f"{variant}={data['peak_intermediate_bytes'] / 1e6:.1f}MB"
+                f"/{data['wall_clock_seconds']:.3f}s"
+                for variant, data in suites[name]["variants"].items())
         if "warm_speedup" in suites[name]:
             cache = suites[name]["cache"]
             summary += (f", speedup={suites[name]['warm_speedup']:.2f}x, "
@@ -302,7 +371,8 @@ def main(argv: list[str] | None = None) -> int:
         "git_revision": _git_revision(),
         "python": platform.python_version(),
         "args": {"sf": args.sf, "seed": args.seed, "repeat": args.repeat,
-                 "morsel_rows": args.morsel_rows},
+                 "morsel_rows": args.morsel_rows, "fusion": args.fusion,
+                 "mem_sf": args.mem_sf},
         "suites": suites,
     }
 

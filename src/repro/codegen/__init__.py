@@ -10,6 +10,10 @@ from .backend import (
 from .pipeline import (
     Pipeline,
     break_into_pipelines,
+    chain_source,
+    fused_chain,
+    is_fused_probe,
+    is_fusion_passthrough,
     is_pipeline_breaker,
     is_streaming_operator,
     pipelines_per_device,
@@ -22,6 +26,10 @@ __all__ = [
     "GPUBackend",
     "Pipeline",
     "break_into_pipelines",
+    "chain_source",
+    "fused_chain",
+    "is_fused_probe",
+    "is_fusion_passthrough",
     "is_pipeline_breaker",
     "is_streaming_operator",
     "pipelines_per_device",

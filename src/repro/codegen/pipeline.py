@@ -13,16 +13,30 @@ upstream of a pipeline's sink processes data morsel-at-a-time
 (:func:`is_streaming_operator`), while the sink — if it is a breaker —
 consumes the whole morsel stream before emitting
 (:meth:`Pipeline.streaming_prefix`).
+
+Pipeline-fused streaming takes the same classification one step further:
+instead of each streaming operator materializing its full output batch
+before the next operator runs, a maximal chain of streaming operators
+(:func:`fused_chain`) is driven morsel-at-a-time end to end — each morsel
+flows through the *entire* chain before the next morsel is touched, and
+the batch only materializes at the fusion boundary (the breaker that
+consumes the chain).  Exchange operators are payload-transparent
+(:func:`is_fusion_passthrough`): they forward packets without looking at
+tuples, so a fused chain streams straight through them.  The hash join's
+probe phase is streaming too (:func:`is_fused_probe`): once the build side
+is consumed, probe morsels match one at a time, so a fused chain can run
+*through* a non-partitioned join without materializing the join output.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterator
+from typing import Callable, Iterator
 
 from ..hardware.specs import DeviceKind
 from ..relational.physical import (
     DeviceCrossing,
+    JoinAlgorithm,
     MemMove,
     PAggregate,
     PFilterProject,
@@ -87,6 +101,86 @@ def is_streaming_operator(op: PhysicalOp) -> bool:
     are classified as breakers for extraction purposes.
     """
     return isinstance(op, (PScan, PFilterProject))
+
+
+def is_fusion_passthrough(op: PhysicalOp) -> bool:
+    """Exchange operators a fused morsel stream flows through unchanged.
+
+    Routers, device crossings and mem-moves operate on packet *metadata*
+    only (the data-packing trait guarantees they never inspect tuples), so
+    a morsel can stream through them with its payload untouched.  They
+    still end a pipeline for extraction purposes — the degree of
+    parallelism or placement changes — but not a *fused chain*: fusion is
+    about when batches materialize, not where they run.
+    """
+    return isinstance(op, (Router, DeviceCrossing, MemMove))
+
+
+def is_fused_probe(op: PhysicalOp) -> bool:
+    """Joins whose probe phase streams morsel-at-a-time once built.
+
+    Only the non-partitioned hash join qualifies: its build side is a
+    breaker, but after the build the probe is row-local (match lists are
+    ordered by probe position), so probe morsels flow through without the
+    join output ever materializing.  Radix/partitioned joins re-order both
+    inputs and need them whole, so they break the chain.
+    """
+    return (isinstance(op, PJoin)
+            and op.algorithm is JoinAlgorithm.NON_PARTITIONED)
+
+
+def fused_chain(node: PhysicalOp,
+                can_defer: Callable[[PhysicalOp], bool]) -> list[PhysicalOp]:
+    """The maximal fused chain whose *top* (output end) is ``node``.
+
+    Walks downward from ``node`` through streaming filter/projects,
+    payload-transparent exchange operators and non-partitioned join probe
+    sides, returning the chain top-down.  The node below the last chain
+    element (``chain[-1].child``, or ``.probe`` for a join) is the chain's
+    *source* — the materialized batch the morsel stream is carved from.
+    An empty list means ``node`` starts no fusable chain and must be
+    executed (and memoized) as a standalone operator.
+
+    ``can_defer`` is the memo-aware deferral hook: it decides whether a
+    memoizable operator's output may be *deferred* (streamed through
+    without materializing as a standalone batch).  The executor answers
+    "no" for subplans that occur more than once in the plan — those are
+    sharing points whose single evaluation other occurrences reuse — which
+    cuts the chain at exactly the nodes whose batches are still needed.
+
+    The returned chain always has a memoizable transform (filter/project
+    or join probe) at its top: a chain of pure exchange operators has no
+    batch to defer and is not worth fusing.
+    """
+    chain: list[PhysicalOp] = []
+    current: PhysicalOp | None = node
+    while current is not None:
+        if isinstance(current, PFilterProject):
+            if not can_defer(current):
+                break
+            chain.append(current)
+            current = current.child
+        elif is_fusion_passthrough(current):
+            chain.append(current)
+            current = current.child  # type: ignore[union-attr]
+        elif is_fused_probe(current):
+            if not can_defer(current):
+                break
+            chain.append(current)
+            current = current.probe  # type: ignore[union-attr]
+        else:
+            break
+    if not chain or not isinstance(chain[0], (PFilterProject, PJoin)):
+        return []
+    return chain
+
+
+def chain_source(chain: list[PhysicalOp]) -> PhysicalOp:
+    """The node a fused chain streams from (just below its last element)."""
+    last = chain[-1]
+    if isinstance(last, PJoin):
+        return last.probe
+    return last.child  # type: ignore[return-value]
 
 
 def break_into_pipelines(root: PhysicalOp) -> list[Pipeline]:

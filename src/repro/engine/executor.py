@@ -39,6 +39,34 @@ Morsel granularity is *wall-clock only*: kernel outputs, stats records and
 therefore every simulated second are bit-identical for every setting, and
 the per-subplan kernel memo keyed by structural keys works unchanged
 because memo entries hold fully reassembled batches, never partial streams.
+
+Pipeline-fused streaming
+------------------------
+
+With ``ExecutorOptions.pipeline_fusion`` on (the default, surfaced as the
+``pipeline_fusion`` knob on :class:`~repro.engine.session.HAPEEngine`),
+morsels do not materialize a full batch at every plan node: maximal chains
+of streaming operators (scan source -> filter/project -> exchange routing
+-> non-partitioned join probes, identified by
+:func:`~repro.codegen.pipeline.fused_chain`) are driven end to end — each
+source morsel flows through the *whole* chain before the next one is
+carved, and only the chain's boundary batch (the input of the breaker that
+consumes it) is ever reassembled.  Intermediate filter/project and join
+outputs exist one morsel at a time.
+
+Fusion requires *memo-aware deferral*: an operator whose output is never
+materialized cannot be memoized (or session-cached) as a standalone batch.
+The executor therefore keys fused evaluations at **fusion-boundary
+granularity** — one memo/cache entry per chain, keyed by the structural
+key of the chain's top operator with a fused-chain tuning marker, storing
+the boundary batch *plus* the per-stage stats records needed to replay
+every stage's cost on warm runs.  Subplans that occur more than once in a
+plan are sharing points and are never deferred (:meth:`Executor._defer_ok`
+cuts the chain there), which preserves single evaluation; and because cost
+charging is replayed per stage from the recorded stats in exactly the
+unfused order, simulated seconds, device busy times and link bytes are
+bit-identical whether fusion is on or off, warm or cold.  Like
+``morsel_rows``, the knob is wall-clock/working-set only.
 """
 
 from __future__ import annotations
@@ -48,6 +76,7 @@ from typing import Callable, Sequence, TypeVar
 
 import numpy as np
 
+from ..codegen.pipeline import chain_source, fused_chain
 from ..errors import ExecutionError, OutOfDeviceMemoryError
 from ..hardware.device import Device
 from ..hardware.specs import DeviceKind
@@ -58,15 +87,30 @@ from ..operators.aggregate import (
     hash_aggregate_kernel,
     merge_partials_kernel,
 )
-from ..operators.base import ArrayMap, OpCost, columns_nbytes, columns_num_rows
+from ..operators.base import (
+    ArrayMap,
+    OpCost,
+    columns_nbytes,
+    columns_num_rows,
+    record_kernel_invocation,
+)
 from ..operators.coprocess import coprocessed_radix_join
-from ..operators.filterproject import estimate_filter_project, filter_project_kernel
+from ..operators.filterproject import (
+    FilterProjectStats,
+    estimate_filter_project,
+    filter_project_kernel,
+    filter_project_morsel,
+    referenced_columns,
+    touched_bytes,
+)
 from ..operators.gpujoin import (
     ensure_gpu_join_fits,
     estimate_gpu_partitioned_join,
     gpu_partitioned_join_kernel,
 )
 from ..operators.hashjoin import (
+    HashJoinBuild,
+    JoinStats,
     build_table_bytes,
     estimate_non_partitioned_join,
     hash_join_kernel,
@@ -93,7 +137,12 @@ from ..relational.physical import (
 )
 from ..storage.catalog import Catalog
 from ..storage.column import Column
-from ..storage.morsel import DEFAULT_MORSEL_ROWS, morsel_count
+from ..storage.morsel import (
+    DEFAULT_MORSEL_ROWS,
+    concat_columns,
+    iter_morsels,
+    morsel_count,
+)
 from ..storage.table import Table
 from .querycache import (
     DEFAULT_CACHE_BUDGET_BYTES,
@@ -126,6 +175,11 @@ class ExecutorOptions:
     #: charged per occurrence regardless of cache hits, so simulated
     #: seconds are identical for every setting.
     cache_budget_bytes: int | None = DEFAULT_CACHE_BUDGET_BYTES
+    #: Drive maximal chains of streaming operators morsel-at-a-time end to
+    #: end, materializing only at fusion boundaries (breaker inputs).
+    #: Wall-clock/working-set only — outputs, stats and simulated seconds
+    #: are bit-identical with fusion on or off.
+    pipeline_fusion: bool = True
 
 
 @dataclass
@@ -195,6 +249,215 @@ class NodeResult:
 
 
 @dataclass
+class _StageMeta:
+    """Placement/timing metadata at one point of a (fused) operator chain.
+
+    The fused execution path separates an operator's *functional* work
+    (streamed, inside the kernel memo) from its *cost charging* (replayed
+    per stage from recorded stats).  ``_StageMeta`` is everything the
+    charging code needs about a stage's input that a materialized
+    :class:`NodeResult` would normally provide — minus the columns, which
+    a fused chain never materializes for intermediate stages.
+    """
+
+    ready: float
+    location: str
+    devices: list[Device]
+    kernel_tag: tuple
+    nbytes: int
+
+
+def _stage_meta(result: NodeResult) -> _StageMeta:
+    return _StageMeta(ready=result.ready, location=result.location,
+                      devices=result.devices, kernel_tag=result.kernel_tag,
+                      nbytes=result.nbytes)
+
+
+class _PassthroughStage:
+    """Exchange stage of a fused chain: forwards each morsel untouched.
+
+    Routers, mem-moves and device crossings never inspect tuple payloads,
+    so the stream flows straight through; the stage only exists so the
+    replay can charge the exchange's control/transfer cost at exactly the
+    position the unfused executor would.
+    """
+
+    __slots__ = ("node",)
+
+    def __init__(self, node: PhysicalOp) -> None:
+        self.node = node
+
+    def place(self, executor: "Executor",
+              devices: list[Device]) -> list[Device]:
+        if isinstance(self.node, Router) and self.node.consumers:
+            return [executor.topology.device(name)
+                    for name in self.node.consumers]
+        if isinstance(self.node, DeviceCrossing):
+            return [device for device in executor.topology.devices
+                    if device.kind is self.node.target_kind]
+        return devices
+
+    def begin(self, executor: "Executor") -> None:
+        pass
+
+    def process(self, batch: ArrayMap) -> ArrayMap:
+        return batch
+
+    def finish(self) -> object:
+        return None
+
+    def tag_through(self, tag: tuple) -> tuple:
+        return tag
+
+    def replay(self, executor: "Executor", meta: _StageMeta,
+               record: object) -> _StageMeta:
+        if isinstance(self.node, Router):
+            return executor._charge_router(self.node, meta)
+        if isinstance(self.node, MemMove):
+            return executor._charge_memmove(self.node, meta)
+        return executor._charge_crossing(self.node, meta)
+
+
+class _FilterProjectStage:
+    """Streaming filter/project stage of a fused chain.
+
+    Transforms one morsel at a time with the exact per-morsel body the
+    unfused kernel uses (:func:`filter_project_morsel`) while accumulating
+    the whole-batch :class:`FilterProjectStats` — input rows and touched
+    bytes are additive over morsels, so the record (and therefore the
+    replayed cost) is bit-identical to a standalone kernel evaluation.
+    """
+
+    __slots__ = ("node", "referenced", "in_rows", "touched", "out_nbytes")
+
+    def __init__(self, node: PFilterProject) -> None:
+        self.node = node
+        self.referenced = referenced_columns(node.predicate, node.projections)
+        self.in_rows = 0
+        self.touched = 0
+        self.out_nbytes = 0
+
+    def place(self, executor: "Executor",
+              devices: list[Device]) -> list[Device]:
+        return devices or executor._default_devices()
+
+    def begin(self, executor: "Executor") -> None:
+        record_kernel_invocation("filter_project")
+        self.in_rows = self.touched = self.out_nbytes = 0
+
+    def process(self, batch: ArrayMap) -> ArrayMap:
+        self.in_rows += columns_num_rows(batch)
+        self.touched += touched_bytes(batch, self.referenced)
+        out = filter_project_morsel(batch, predicate=self.node.predicate,
+                                    projections=self.node.projections)
+        self.out_nbytes += columns_nbytes(out)
+        return out
+
+    def finish(self) -> object:
+        return (FilterProjectStats(num_rows=self.in_rows,
+                                   touched_bytes=self.touched),
+                self.out_nbytes)
+
+    def tag_through(self, tag: tuple) -> tuple:
+        return tag
+
+    def replay(self, executor: "Executor", meta: _StageMeta,
+               record: object) -> _StageMeta:
+        stats, out_nbytes = record  # type: ignore[misc]
+        meta = executor._charge_filter_project(self.node, meta, stats)
+        meta.nbytes = out_nbytes
+        return meta
+
+
+class _HashJoinProbeStage:
+    """Non-partitioned join probe stage of a fused chain.
+
+    The build side is a breaker and was executed (materialized) when the
+    chain was assembled; cold runs build the join index once in
+    :meth:`begin` and then match one probe morsel at a time.  Because the
+    match list is ordered by probe position, the streamed outputs
+    concatenate to exactly the whole-column join, and the accumulated
+    :class:`JoinStats` equals the standalone kernel's record.
+    """
+
+    __slots__ = ("node", "build", "builder", "devices", "probe_rows",
+                 "probe_nbytes", "out_nbytes")
+
+    def __init__(self, node: PJoin, build: NodeResult) -> None:
+        self.node = node
+        self.build = build
+        self.builder: HashJoinBuild | None = None
+        self.devices: list[Device] = []
+        self.probe_rows = 0
+        self.probe_nbytes = 0
+        self.out_nbytes = 0
+
+    def place(self, executor: "Executor",
+              devices: list[Device]) -> list[Device]:
+        self.devices = devices or executor._default_devices()
+        return self.devices
+
+    def begin(self, executor: "Executor") -> None:
+        record_kernel_invocation("hash_join")
+        self.probe_rows = self.probe_nbytes = self.out_nbytes = 0
+        # GPU capacity is checked *before* any streaming work, exactly
+        # like the unfused path checks before evaluating the kernel: an
+        # oversized build (the Q9 failure mode) raises without
+        # materializing — or caching — the boundary batch.  The replay
+        # repeats the check (it charges no clock and peaks no higher), so
+        # warm runs enforce it identically to unfused warm runs.
+        if executor.options.enforce_gpu_memory:
+            for kind in {device.kind for device in self.devices}:
+                representative = executor._representative(self.devices, kind)
+                if representative is not None and representative.is_gpu:
+                    representative.allocate(
+                        build_table_bytes(self.build.num_rows),
+                        label="join hash table").free()
+        morsel_rows = executor.scheduler.grant(self.build.num_rows)
+        self.builder = HashJoinBuild.from_morsels(
+            iter_morsels(self.build.columns, morsel_rows),
+            build_keys=self.node.build_keys)
+
+    def process(self, batch: ArrayMap) -> ArrayMap:
+        assert self.builder is not None
+        self.probe_rows += columns_num_rows(batch)
+        self.probe_nbytes += columns_nbytes(batch)
+        out = self.builder.probe(batch, probe_keys=self.node.probe_keys)
+        self.out_nbytes += columns_nbytes(out)
+        return out
+
+    def finish(self) -> object:
+        assert self.builder is not None
+        stats = JoinStats(
+            build_rows=self.builder.num_rows,
+            probe_rows=self.probe_rows,
+            build_nbytes=self.builder.nbytes,
+            probe_nbytes=self.probe_nbytes,
+            output_nbytes=self.out_nbytes,
+        )
+        self.builder = None  # the index dies with the streamed run
+        return stats
+
+    def tag_through(self, tag: tuple) -> tuple:
+        return self.build.kernel_tag + tag
+
+    def replay(self, executor: "Executor", meta: _StageMeta,
+               record: object) -> _StageMeta:
+        stats: JoinStats = record  # type: ignore[assignment]
+        earliest = max(self.build.ready, meta.ready)
+        devices = meta.devices or executor._default_devices()
+        ready_build = executor._prepare_hash_join(self.build, devices,
+                                                  earliest)
+        ready = executor._charge_hash_join(devices, stats, meta,
+                                           earliest=earliest,
+                                           ready_build=ready_build)
+        return _StageMeta(ready=ready, location=meta.location,
+                          devices=devices,
+                          kernel_tag=self.build.kernel_tag + meta.kernel_tag,
+                          nbytes=stats.output_nbytes)
+
+
+@dataclass
 class ExecutionResult:
     """What :class:`Executor.execute` returns."""
 
@@ -245,6 +508,10 @@ class Executor:
         self._query_memo: dict[tuple, dict[object, object]] = {}
         self._key_cache: dict[int, tuple] = {}
         self._key_refs: dict[tuple, int] = {}
+        #: Immutable snapshot of the per-plan occurrence counts: the
+        #: memo-aware deferral predicate (:meth:`_defer_ok`) must see the
+        #: *initial* counts, not the ones :meth:`_memoized_kernel` decays.
+        self._plan_refs: dict[tuple, int] = {}
         self._table_versions: dict[str, int] = {}
 
     def configure_morsels(self, morsel_rows: int | None) -> None:
@@ -264,6 +531,20 @@ class Executor:
         self.options = replace(self.options,
                                cache_budget_bytes=self.query_cache.budget_bytes)
 
+    def configure_fusion(self, enabled: bool) -> None:
+        """Re-tune pipeline-fused streaming (the ``pipeline_fusion`` knob).
+
+        Takes effect for the next :meth:`execute`; results and simulated
+        seconds are bit-identical either way, only the peak working set of
+        intermediate batches changes.  Cached kernel results stay valid —
+        fused and unfused evaluations use distinct cache entries (the
+        fused-chain tuning marker), so retuning mid-session can only cause
+        cold misses, never wrong reuse.
+        """
+        if not isinstance(enabled, bool):
+            raise ValueError("pipeline_fusion must be a bool")
+        self.options = replace(self.options, pipeline_fusion=enabled)
+
     # ------------------------------------------------------------------
     def execute(self, plan: PhysicalOp) -> ExecutionResult:
         """Run a physical plan and report result plus simulated timing."""
@@ -275,6 +556,7 @@ class Executor:
         # mid-query, and cached structural keys embed these versions.
         self._table_versions = self.catalog.table_versions
         self._key_refs = self._count_kernel_occurrences(plan)
+        self._plan_refs = dict(self._key_refs)
         try:
             result = self._execute(plan)
         finally:
@@ -284,6 +566,7 @@ class Executor:
             self._query_memo = {}
             self._key_cache = {}
             self._key_refs = {}
+            self._plan_refs = {}
             # Advance the counter mark even on failure, so an aborted
             # query's cache activity is not misattributed to the next
             # query's per-query delta.
@@ -377,6 +660,206 @@ class Executor:
                 key = self._structural(node)
                 refs[key] = refs.get(key, 0) + 1
         return refs
+
+    # ------------------------------------------------------------------
+    # Pipeline-fused streaming
+    # ------------------------------------------------------------------
+    def _defer_ok(self, node: PhysicalOp) -> bool:
+        """May ``node``'s output be deferred (streamed, not materialized)?
+
+        Memo-aware deferral: a subplan that occurs more than once in the
+        current plan is a sharing point — its single evaluation must be
+        materialized so other occurrences can reuse it — so only
+        single-occurrence subplans join a fused chain.
+        """
+        return self._plan_refs.get(self._structural(node), 0) == 1
+
+    def _execute_chain(self, node: PhysicalOp) -> NodeResult:
+        """Execute a breaker's input, fusing the streaming chain below it.
+
+        Drop-in replacement for :meth:`_execute` at every point where an
+        operator consumes a child batch.  When fusion is off or ``node``
+        starts no fusable chain this *is* ``_execute``; otherwise the
+        maximal chain below ``node`` runs as one streamed evaluation:
+
+        1. chain assembly walks top-down, executing the build side of
+           every fused join (and finally the chain's source) exactly where
+           the unfused recursion would — so all their charges land on the
+           simulated clocks in the unfused order;
+        2. the functional stream runs inside the kernel memo, keyed at
+           fusion-boundary granularity: the chain top's structural key
+           plus a fused-chain tuning marker, storing the boundary batch
+           and the per-stage stats records (warm runs skip the stream and
+           reuse both);
+        3. the per-stage costs are replayed bottom-up from the stats —
+           identical charges, in the identical order, as the unfused
+           per-node execution.
+        """
+        chain = (fused_chain(node, self._defer_ok)
+                 if self.options.pipeline_fusion else [])
+        if not chain:
+            return self._execute(node)
+        stages: list = []
+        for op in chain:  # top-down: fused joins build before probing
+            if isinstance(op, PJoin):
+                stages.append(_HashJoinProbeStage(
+                    op, self._execute_chain(op.build)))
+            elif isinstance(op, PFilterProject):
+                stages.append(_FilterProjectStage(op))
+            else:
+                stages.append(_PassthroughStage(op))
+        source = self._execute(chain_source(chain))
+        stages.reverse()  # bottom-up: the order morsels flow
+        # Devices-only placement pass: mirrors how the charge replay will
+        # thread device placement through the chain, so stages that must
+        # enforce placement-dependent limits *before* streaming (the join
+        # stage's GPU capacity check) know their devices up front.
+        devices = source.devices
+        for stage in stages:
+            devices = stage.place(self, devices)
+        tag = source.kernel_tag
+        for stage in stages:
+            tag = stage.tag_through(tag)
+        # The tuning marker keeps fused entries apart from standalone ones
+        # for the same key: their values have different shapes (boundary
+        # batch + per-stage stats vs. (columns, stats)), and the chain
+        # depth pins which stats records the entry must carry.
+        tuning = (tag, ("fused-chain", len(chain)))
+        columns, records = self._memoized_kernel(
+            chain[0], lambda: self._run_fused_chain(stages, source),
+            tuning=tuning)
+        meta = _stage_meta(source)
+        for stage, record in zip(stages, records):
+            meta = stage.replay(self, meta, record)
+        return NodeResult(columns=columns, ready=meta.ready,
+                          location=meta.location, devices=meta.devices,
+                          kernel_tag=meta.kernel_tag)
+
+    def _run_fused_chain(self, stages: Sequence, source: NodeResult,
+                         ) -> tuple[ArrayMap, tuple]:
+        """Stream the source batch through every stage, morsel by morsel.
+
+        Each morsel flows through the *entire* chain before the next one
+        is carved, so intermediate stage outputs only ever exist one
+        morsel at a time; the boundary batch is reassembled with the
+        consuming concatenation to keep the materialization spike near the
+        output's own size.  Returns the boundary columns plus the
+        per-stage stats records the cost replay (and warm runs) need.
+        """
+        for stage in stages:
+            stage.begin(self)
+        morsel_rows = self.scheduler.grant(source.num_rows)
+        parts: list[ArrayMap] = []
+        for morsel in iter_morsels(source.columns, morsel_rows):
+            batch: ArrayMap = dict(morsel.columns)
+            for stage in stages:
+                batch = stage.process(batch)
+            parts.append(batch)
+        columns = concat_columns(parts, consume=True)
+        return columns, tuple(stage.finish() for stage in stages)
+
+    # ------------------------------------------------------------------
+    # Per-operator cost charging (shared by the unfused execution path
+    # and the fused chains' replay — one code path, identical clocks)
+    # ------------------------------------------------------------------
+    def _charge_router(self, node: Router, child: _StageMeta) -> _StageMeta:
+        if node.consumers:
+            devices = [self.topology.device(name) for name in node.consumers]
+        else:
+            devices = child.devices
+        # Routing decisions are packet-metadata only; charge a token
+        # control cost on the CPU that hosts the router.
+        cpu = self.topology.cpus()[0]
+        record = cpu.charge(1e-6 * max(len(devices), 1),
+                            earliest=child.ready, label="router")
+        return replace(child, ready=record.end, devices=devices)
+
+    def _charge_memmove(self, node: MemMove, child: _StageMeta) -> _StageMeta:
+        destinations = [name.strip() for name in node.destination.split(",")
+                        if name.strip()]
+        if not destinations:
+            raise ExecutionError("mem-move needs at least one destination")
+        nbytes = child.nbytes
+        ready = child.ready
+        share = nbytes // len(destinations) if destinations else nbytes
+        for destination in destinations:
+            if destination == child.location:
+                continue
+            device = self.topology.device(destination)
+            payload = nbytes if node.broadcast else share
+            if self.options.enforce_gpu_memory and device.is_gpu:
+                device.allocate(payload, label="mem-move staging").free()
+            route = self.topology.route(child.location, destination)
+            ready = max(ready, route.transfer(payload, earliest=child.ready,
+                                              label="mem-move"))
+        location = (destinations[0] if len(destinations) == 1
+                    else "distributed:" + ",".join(destinations))
+        return replace(child, ready=ready, location=location)
+
+    def _charge_crossing(self, node: DeviceCrossing,
+                         child: _StageMeta) -> _StageMeta:
+        targets = [device for device in self.topology.devices
+                   if device.kind is node.target_kind]
+        if not targets:
+            raise ExecutionError(
+                f"no devices of kind {node.target_kind.value} in the topology")
+        ready = child.ready
+        for device in targets:
+            record = device.charge(device.cost.kernel_launch() or 1e-6,
+                                   earliest=child.ready,
+                                   label="device-crossing")
+            ready = max(ready, record.end)
+        return replace(child, ready=ready, devices=targets)
+
+    def _charge_filter_project(self, node: PFilterProject, child: _StageMeta,
+                               stats: FilterProjectStats) -> _StageMeta:
+        devices = child.devices or self._default_devices()
+        cost_by_kind: dict[DeviceKind, OpCost] = {
+            kind: estimate_filter_project(
+                stats, self._representative(devices, kind),
+                predicate=node.predicate, projections=node.projections)
+            for kind in {device.kind for device in devices}
+        }
+        fractions = self._split_fractions(devices, child.location)
+        ready = self._charge_parallel(
+            devices, cost_by_kind, fractions, earliest=child.ready,
+            input_bytes=child.nbytes, data_location=child.location,
+            label="filter-project")
+        return replace(child, ready=ready, devices=devices)
+
+    def _prepare_hash_join(self, build, devices: Sequence[Device],
+                           earliest: float) -> float:
+        """Broadcast the build side and check GPU capacity; returns ready.
+
+        ``build`` is the materialized build-side result (a
+        :class:`NodeResult`); the capacity check sizes the global hash
+        table an oversized build would allocate (the Q9 failure mode).
+        """
+        ready_build = self._broadcast_build(
+            build, [device for device in devices if device.is_gpu], earliest)
+        for kind in {device.kind for device in devices}:
+            representative = self._representative(devices, kind)
+            if representative.is_gpu and self.options.enforce_gpu_memory:
+                table_bytes = build_table_bytes(build.num_rows)
+                allocation = representative.allocate(table_bytes,
+                                                     label="join hash table")
+                allocation.free()
+        return ready_build
+
+    def _charge_hash_join(self, devices: Sequence[Device], stats: JoinStats,
+                          probe: _StageMeta, *, earliest: float,
+                          ready_build: float) -> float:
+        cost_by_kind: dict[DeviceKind, OpCost] = {
+            kind: estimate_non_partitioned_join(
+                stats, self._representative(devices, kind))
+            for kind in {device.kind for device in devices}
+        }
+        fractions = self._split_fractions(devices, probe.location)
+        return self._charge_parallel(
+            devices, cost_by_kind, fractions,
+            earliest=max(earliest, ready_build),
+            input_bytes=probe.nbytes, data_location=probe.location,
+            label="hash-join", join_shuffle=True)
 
     @staticmethod
     def _partition_tuning(spec) -> tuple:
@@ -479,64 +962,28 @@ class Executor:
                           devices=self._default_devices())
 
     def _execute_router(self, node: Router) -> NodeResult:
-        child = self._execute(node.child)
-        if node.consumers:
-            devices = [self.topology.device(name) for name in node.consumers]
-        else:
-            devices = child.devices
-        # Routing decisions are packet-metadata only; charge a token control
-        # cost on the CPU that hosts the router.
-        cpu = self.topology.cpus()[0]
-        record = cpu.charge(1e-6 * max(len(devices), 1), earliest=child.ready,
-                            label="router")
-        return NodeResult(columns=child.columns, ready=record.end,
-                          location=child.location, devices=devices,
+        child = self._execute_chain(node.child)
+        meta = self._charge_router(node, _stage_meta(child))
+        return NodeResult(columns=child.columns, ready=meta.ready,
+                          location=meta.location, devices=meta.devices,
                           kernel_tag=child.kernel_tag)
 
     def _execute_memmove(self, node: MemMove) -> NodeResult:
-        child = self._execute(node.child)
-        destinations = [name.strip() for name in node.destination.split(",")
-                        if name.strip()]
-        if not destinations:
-            raise ExecutionError("mem-move needs at least one destination")
-        nbytes = child.nbytes
-        ready = child.ready
-        share = nbytes // len(destinations) if destinations else nbytes
-        for destination in destinations:
-            if destination == child.location:
-                continue
-            device = self.topology.device(destination)
-            payload = nbytes if node.broadcast else share
-            if self.options.enforce_gpu_memory and device.is_gpu:
-                device.allocate(payload, label="mem-move staging").free()
-            route = self.topology.route(child.location, destination)
-            ready = max(ready, route.transfer(payload, earliest=child.ready,
-                                              label="mem-move"))
-        location = (destinations[0] if len(destinations) == 1
-                    else "distributed:" + ",".join(destinations))
-        return NodeResult(columns=child.columns, ready=ready,
-                          location=location, devices=child.devices,
+        child = self._execute_chain(node.child)
+        meta = self._charge_memmove(node, _stage_meta(child))
+        return NodeResult(columns=child.columns, ready=meta.ready,
+                          location=meta.location, devices=child.devices,
                           kernel_tag=child.kernel_tag)
 
     def _execute_crossing(self, node: DeviceCrossing) -> NodeResult:
-        child = self._execute(node.child)
-        targets = [device for device in self.topology.devices
-                   if device.kind is node.target_kind]
-        if not targets:
-            raise ExecutionError(
-                f"no devices of kind {node.target_kind.value} in the topology")
-        ready = child.ready
-        for device in targets:
-            record = device.charge(device.cost.kernel_launch() or 1e-6,
-                                   earliest=child.ready, label="device-crossing")
-            ready = max(ready, record.end)
-        return NodeResult(columns=child.columns, ready=ready,
-                          location=child.location, devices=targets,
+        child = self._execute_chain(node.child)
+        meta = self._charge_crossing(node, _stage_meta(child))
+        return NodeResult(columns=child.columns, ready=meta.ready,
+                          location=meta.location, devices=meta.devices,
                           kernel_tag=child.kernel_tag)
 
     def _execute_filter_project(self, node: PFilterProject) -> NodeResult:
-        child = self._execute(node.child)
-        devices = child.devices or self._default_devices()
+        child = self._execute_chain(node.child)
         # The functional kernel is device-invariant: run it once and price
         # the identical work per participating device kind.
         columns, stats = self._memoized_kernel(
@@ -545,23 +992,13 @@ class Executor:
                 projections=node.projections,
                 morsel_rows=self.scheduler.grant(child.num_rows)),
             tuning=child.kernel_tag)
-        cost_by_kind: dict[DeviceKind, OpCost] = {
-            kind: estimate_filter_project(
-                stats, self._representative(devices, kind),
-                predicate=node.predicate, projections=node.projections)
-            for kind in {device.kind for device in devices}
-        }
-        fractions = self._split_fractions(devices, child.location)
-        ready = self._charge_parallel(
-            devices, cost_by_kind, fractions, earliest=child.ready,
-            input_bytes=child.nbytes, data_location=child.location,
-            label="filter-project")
-        return NodeResult(columns=columns, ready=ready,
-                          location=child.location, devices=devices,
+        meta = self._charge_filter_project(node, _stage_meta(child), stats)
+        return NodeResult(columns=columns, ready=meta.ready,
+                          location=meta.location, devices=meta.devices,
                           kernel_tag=child.kernel_tag)
 
     def _execute_aggregate(self, node: PAggregate) -> NodeResult:
-        child = self._execute(node.child)
+        child = self._execute_chain(node.child)
         if node.phase == "partial":
             devices = child.devices or self._default_devices()
             columns, stats = self._memoized_kernel(
@@ -609,7 +1046,7 @@ class Executor:
                           kernel_tag=child.kernel_tag)
 
     def _execute_sort(self, node: PSort) -> NodeResult:
-        child = self._execute(node.child)
+        child = self._execute_chain(node.child)
         cpu = self.topology.cpus()[0]
         order = np.lexsort([np.asarray(child.columns[key])
                             for key in reversed(node.keys)])
@@ -625,8 +1062,8 @@ class Executor:
     # Joins
     # ------------------------------------------------------------------
     def _execute_join(self, node: PJoin) -> NodeResult:
-        build = self._execute(node.build)
-        probe = self._execute(node.probe)
+        build = self._execute_chain(node.build)
+        probe = self._execute_chain(node.probe)
         earliest = max(build.ready, probe.ready)
         devices = probe.devices or self._default_devices()
 
@@ -683,20 +1120,11 @@ class Executor:
                               kernel_tag=tag)
 
         # Non-partitioned hash join on whatever devices the probe pipeline
-        # uses: one functional evaluation, one cost estimate per device kind.
-        ready_build = self._broadcast_build(
-            build, [device for device in devices if device.is_gpu], earliest)
-        kinds = {device.kind for device in devices}
-        # Check GPU capacity for the build hash table before evaluating the
-        # join, so an oversized build (the Q9 failure mode) raises without
-        # materializing the full result first.
-        for kind in kinds:
-            representative = self._representative(devices, kind)
-            if (representative.is_gpu and self.options.enforce_gpu_memory):
-                table_bytes = build_table_bytes(build.num_rows)
-                allocation = representative.allocate(table_bytes,
-                                                     label="join hash table")
-                allocation.free()
+        # uses: one functional evaluation, one cost estimate per device
+        # kind.  Broadcast + GPU capacity check happen before evaluating
+        # the join, so an oversized build (the Q9 failure mode) raises
+        # without materializing the full result first.
+        ready_build = self._prepare_hash_join(build, devices, earliest)
         join_tag = build.kernel_tag + probe.kernel_tag
         columns, stats = self._memoized_kernel(
             node, lambda: hash_join_kernel(
@@ -705,30 +1133,38 @@ class Executor:
                 morsel_rows=self.scheduler.grant(build.num_rows,
                                                  probe.num_rows)),
             tuning=join_tag)
-        cost_by_kind: dict[DeviceKind, OpCost] = {
-            kind: estimate_non_partitioned_join(
-                stats, self._representative(devices, kind))
-            for kind in kinds
-        }
-        fractions = self._split_fractions(devices, probe.location)
-        ready = self._charge_parallel(
-            devices, cost_by_kind, fractions, earliest=max(earliest, ready_build),
-            input_bytes=probe.nbytes, data_location=probe.location,
-            label="hash-join", join_shuffle=True)
+        ready = self._charge_hash_join(devices, stats, _stage_meta(probe),
+                                       earliest=earliest,
+                                       ready_build=ready_build)
         return NodeResult(columns=columns, ready=ready,
                           location=probe.location, devices=devices,
                           kernel_tag=join_tag)
 
-    def _broadcast_build(self, build: NodeResult, gpus: Sequence[Device],
+    def _broadcast_build(self, build, gpus: Sequence[Device],
                          earliest: float) -> float:
-        """Send the build-side data to every GPU participating in the probe."""
+        """Send the build-side data to every GPU participating in the probe.
+
+        A ``distributed:a,b`` location (from a multi-destination mem-move)
+        marks the build as already living across the member devices, so no
+        transfer is charged to members; non-members receive it from the
+        first member.  In the plans this optimizer emits, distributed
+        builds only occur for the partitioned GPU join in GPU-only mode —
+        where each member working on its *share* of co-partitioned data is
+        exactly the partitioned-join model, and GPU capacity is enforced
+        separately (``ensure_gpu_join_fits``).  Non-partitioned joins
+        always receive CPU-resident builds and take the transfer path.
+        """
+        members: list[str] = []
+        if build.location.startswith("distributed:"):
+            members = build.location.split(":", 1)[1].split(",")
+        source = members[0] if members else build.location
         ready = earliest
         for gpu in gpus:
-            if build.location == gpu.name:
+            if gpu.name == build.location or gpu.name in members:
                 continue
             if self.options.enforce_gpu_memory:
                 gpu.allocate(build.nbytes, label="broadcast build side").free()
-            route = self.topology.route(build.location, gpu.name)
+            route = self.topology.route(source, gpu.name)
             ready = max(ready, route.transfer(build.nbytes, earliest=earliest,
                                               label="broadcast-build"))
         return ready

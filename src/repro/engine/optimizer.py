@@ -148,7 +148,13 @@ class Optimizer:
 
     def _convert_filter(self, plan: Filter, mode: ExecutionMode) -> PhysicalOp:
         child = self._convert(plan.child, mode)
-        if isinstance(child, PFilterProject) and child.predicate is None:
+        # Merging into an existing fused filter/project is only legal when
+        # the child carries no projections: the fused kernel applies the
+        # predicate *before* the projections, so a filter sitting above a
+        # projection (which may reference computed aliases or drop
+        # columns) must stay its own operator.
+        if (isinstance(child, PFilterProject) and child.predicate is None
+                and not child.projections):
             child.predicate = plan.predicate
             return child
         traits = self._worker_traits(mode, locality=child.traits.locality)

@@ -34,6 +34,15 @@ Two properties the rest of the engine relies on:
   ``morsel_rows`` setting, so the ``morsel_rows`` knob is deliberately
   *not* part of the cache key — a result computed at one granularity is
   valid at every other.
+* **Fusion-boundary granularity.**  Under pipeline-fused streaming the
+  executor defers a fused chain's intermediate outputs (they stream, one
+  morsel at a time, and never materialize), so such chains are cached as
+  ONE entry keyed at the chain top with a fused-chain tuning marker; the
+  value couples the boundary batch with the per-stage stats records that
+  let warm runs replay every deferred stage's cost.  The marker keeps
+  fused and standalone entries for the same subplan apart, so retuning
+  ``pipeline_fusion`` mid-session can cause cold misses but never wrong
+  reuse (see ``docs/CACHING.md``).
 """
 
 from __future__ import annotations

@@ -120,6 +120,14 @@ class HAPEEngine:
         ``morsel_rows`` this is wall-clock only — simulated seconds are
         identical for every setting.  Overrides
         ``executor_options.cache_budget_bytes`` when both are given.
+    pipeline_fusion:
+        Stream morsels through maximal chains of streaming operators
+        (scan -> filter/project -> exchange routing -> hash-join probes)
+        without materializing a batch at every plan node; batches only
+        form at fusion boundaries (aggregate and join-build inputs).  On
+        by default.  Wall-clock/working-set only — results and simulated
+        seconds are bit-identical with fusion on or off.  Overrides
+        ``executor_options.pipeline_fusion`` when both are given.
     """
 
     def __init__(self, topology: Topology | None = None, *,
@@ -127,6 +135,7 @@ class HAPEEngine:
                  executor_options: ExecutorOptions | None = None,
                  morsel_rows: int | None = _UNSET,  # type: ignore[assignment]
                  cache_budget_bytes: int | None = _UNSET,  # type: ignore[assignment]
+                 pipeline_fusion: bool = _UNSET,  # type: ignore[assignment]
                  ) -> None:
         self.topology = topology if topology is not None else default_server()
         self.catalog = Catalog()
@@ -137,6 +146,8 @@ class HAPEEngine:
             self.executor.configure_morsels(morsel_rows)
         if cache_budget_bytes is not _UNSET:
             self.executor.configure_cache(cache_budget_bytes)
+        if pipeline_fusion is not _UNSET:
+            self.executor.configure_fusion(pipeline_fusion)
 
     # ------------------------------------------------------------------
     # Session knobs
@@ -171,6 +182,23 @@ class HAPEEngine:
     @cache_budget_bytes.setter
     def cache_budget_bytes(self, value: int | None) -> None:
         self.executor.configure_cache(value)
+
+    @property
+    def pipeline_fusion(self) -> bool:
+        """Whether streaming chains fuse across plan nodes (default on).
+
+        Assigning re-tunes the executor in place, so fusion can be toggled
+        per query within one session; results and simulated timings are
+        bit-identical either way — only the peak size of intermediate
+        batches changes.  Cached kernel results survive retuning: fused
+        and unfused evaluations use distinct cache entries, so a toggle
+        can cause cold misses but never wrong reuse.
+        """
+        return self.executor.options.pipeline_fusion
+
+    @pipeline_fusion.setter
+    def pipeline_fusion(self, value: bool) -> None:
+        self.executor.configure_fusion(value)
 
     @property
     def cache_stats(self) -> QueryCacheStats:

@@ -68,7 +68,9 @@ from .filterproject import (
     filter_project_kernel,
     filter_project_morsel,
     filter_project_morsels,
+    referenced_columns,
     scan_cost,
+    touched_bytes,
 )
 from .gpujoin import (
     GpuJoinConfig,
@@ -174,9 +176,11 @@ __all__ = [
     "radix_partition",
     "radix_partition_kernel",
     "record_kernel_invocation",
+    "referenced_columns",
     "reset_kernel_counts",
     "route_morsels",
     "scan_cost",
     "target_partition_bytes",
+    "touched_bytes",
     "zip_partitions",
 ]

@@ -127,7 +127,11 @@ def hash_aggregate_kernel(
     if num_rows:
         unique_keys, group_ids = np.unique(group_keys, return_inverse=True)
     else:
-        unique_keys = np.asarray([], dtype=np.int64)
+        # SQL semantics for the empty input: a grouped aggregate has no
+        # groups, but a *grand* aggregate still emits its single row
+        # (count=0, sum=0, min=inf, ...), matching the reference executor.
+        unique_keys = (np.asarray([], dtype=np.int64) if group_by
+                       else np.zeros(1, dtype=np.int64))
         group_ids = np.asarray([], dtype=np.int64)
 
     result: ArrayMap = {}
@@ -141,10 +145,11 @@ def hash_aggregate_kernel(
             result[name] = np.asarray(columns.get(name, np.asarray([])))[:0]
 
     counts = (np.bincount(group_ids, minlength=len(unique_keys))
-              if num_rows else np.asarray([], dtype=np.int64))
+              if len(unique_keys) else np.asarray([], dtype=np.int64))
     for spec in aggregates:
         result.update(_evaluate_aggregate(spec, columns, group_ids,
-                                          len(unique_keys), counts, phase))
+                                          len(unique_keys), counts, phase,
+                                          grand=not group_by))
     return result, AggregateStats(num_rows=num_rows,
                                   num_groups=len(unique_keys))
 
@@ -193,7 +198,8 @@ def hash_aggregate(columns: Mapping[str, np.ndarray], device: Device, *,
 
 def _evaluate_aggregate(spec: AggregateSpec, columns: Mapping[str, np.ndarray],
                         group_ids: np.ndarray, num_groups: int,
-                        counts: np.ndarray, phase: str) -> ArrayMap:
+                        counts: np.ndarray, phase: str, *,
+                        grand: bool = False) -> ArrayMap:
     if num_groups == 0:
         empty = np.asarray([], dtype=np.float64)
         if spec.func == "avg" and phase == "partial":
@@ -206,7 +212,14 @@ def _evaluate_aggregate(spec: AggregateSpec, columns: Mapping[str, np.ndarray],
     if spec.func == "count":
         return {spec.alias: counts.astype(np.int64)}
     values = np.asarray(spec.expr.evaluate(columns), dtype=np.float64)
-    sums = np.bincount(group_ids, weights=values, minlength=num_groups)
+    if grand:
+        # One global group: accumulate with NumPy's pairwise reduction,
+        # exactly as the reference executor's grand aggregate does — the
+        # sequential per-group ``np.bincount`` path would differ in the
+        # last ulp for large inputs.
+        sums = np.asarray([values.sum()])
+    else:
+        sums = np.bincount(group_ids, weights=values, minlength=num_groups)
     if spec.func == "sum":
         return {spec.alias: sums}
     if spec.func == "avg":

@@ -7,7 +7,12 @@ property the data-packing trait guarantees.
 
 Exchange is a *streaming* stage of the morsel pipeline: a router forwards
 each morsel to a consumer the moment it arrives (:func:`route_morsels`),
-without waiting for — or ever holding — the whole batch.
+without waiting for — or ever holding — the whole batch.  Because exchange
+operators are payload-transparent, they are also *fusion pass-throughs*
+(:func:`repro.codegen.pipeline.is_fusion_passthrough`): a pipeline-fused
+chain streams morsels straight through a router, mem-move or device
+crossing — the executor replays their control/transfer costs per stage
+while the payload flows by untouched.
 """
 
 from __future__ import annotations

@@ -77,6 +77,38 @@ class FilterProjectStats:
     touched_bytes: int
 
 
+def referenced_columns(predicate: Expr | None,
+                       projections: Mapping[str, Expr] | None) -> set[str]:
+    """Input columns a fused filter/project reads.
+
+    An empty set means "every input column" (a pass-through touches all of
+    its input).  Shared by :func:`filter_project_kernel` and the executor's
+    fused-chain stage so both accumulate identical ``touched_bytes``.
+    """
+    referenced: set[str] = set()
+    if predicate is not None:
+        referenced |= predicate.columns()
+    if projections:
+        for expr in projections.values():
+            referenced |= expr.columns()
+    return referenced
+
+
+def touched_bytes(columns: Mapping[str, np.ndarray],
+                  referenced: set[str]) -> int:
+    """Bytes of ``columns`` a pass referencing ``referenced`` streams.
+
+    With ``referenced`` empty every column counts (pass-through).  Summing
+    this per morsel equals the whole-batch figure exactly: morsels
+    partition each column's rows, and ``nbytes`` is additive over slices.
+    """
+    if not referenced:
+        return int(sum(np.asarray(values).nbytes
+                       for values in columns.values()))
+    return int(sum(np.asarray(columns[name]).nbytes
+                   for name in referenced if name in columns))
+
+
 def filter_project_morsel(
         columns: Mapping[str, np.ndarray], *,
         predicate: Expr | None = None,
@@ -146,18 +178,9 @@ def filter_project_kernel(
     columns = {name: np.asarray(values) for name, values in columns.items()}
     num_rows = columns_num_rows(columns)
 
-    referenced: set[str] = set()
-    if predicate is not None:
-        referenced |= predicate.columns()
-    if projections:
-        for expr in projections.values():
-            referenced |= expr.columns()
-    if not referenced:
-        referenced = set(columns)
-    touched = sum(
-        columns[name].nbytes for name in referenced if name in columns
-    )
-    stats = FilterProjectStats(num_rows=num_rows, touched_bytes=int(touched))
+    referenced = referenced_columns(predicate, projections)
+    stats = FilterProjectStats(num_rows=num_rows,
+                               touched_bytes=touched_bytes(columns, referenced))
 
     if (morsel_rows is None or num_rows <= morsel_rows
             or (predicate is None and not projections)):

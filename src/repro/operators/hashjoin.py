@@ -18,6 +18,14 @@ streams arrive through a :class:`~repro.storage.morsel.MorselSink`), after
 which the probe side streams: :meth:`HashJoinBuild.probe` matches one probe
 morsel at a time, and because the match list is ordered by probe position,
 concatenated per-morsel outputs equal the whole-column join bit for bit.
+
+That probe surface is also what makes this join *fusable*
+(:func:`repro.codegen.pipeline.is_fused_probe`): the executor's
+pipeline-fused chains build the index once and then drive each chain
+morsel through :meth:`HashJoinBuild.probe` on its way to the fusion
+boundary, so the join output never materializes as a standalone batch.
+The partitioned joins cannot offer this — they re-order both inputs — and
+therefore always break the chain.
 """
 
 from __future__ import annotations

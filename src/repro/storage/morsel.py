@@ -126,20 +126,35 @@ def iter_morsels(columns: Mapping[str, np.ndarray],
         )
 
 
-def concat_columns(parts: Sequence[Mapping[str, np.ndarray]],
-                   ) -> dict[str, np.ndarray]:
+def concat_columns(parts: Sequence[Mapping[str, np.ndarray]], *,
+                   consume: bool = False) -> dict[str, np.ndarray]:
     """Reassemble per-morsel operator outputs into one column batch.
 
     A single part is returned as-is (no copy), so whole-batch execution and
     single-morsel streams stay allocation-identical.
+
+    ``consume=True`` pops each column out of the part dicts as it is
+    concatenated (the parts must then be mutable dicts the caller owns).
+    This bounds the reassembly peak: instead of holding every part *and*
+    the full result until the end, at most one fully concatenated column's
+    worth of parts is alive beyond the result — which is what keeps the
+    materialization spike at a fused chain's boundary near the size of the
+    output itself.
     """
     if not parts:
         raise ValueError("cannot concatenate zero batches")
     if len(parts) == 1:
         return dict(parts[0])
     names = list(parts[0])
-    return {name: np.concatenate([np.asarray(part[name]) for part in parts])
-            for name in names}
+    result: dict[str, np.ndarray] = {}
+    for name in names:
+        if consume:
+            arrays = [np.asarray(part.pop(name)) for part in parts]  # type: ignore[attr-defined]
+        else:
+            arrays = [np.asarray(part[name]) for part in parts]
+        result[name] = np.concatenate(arrays)
+        del arrays
+    return result
 
 
 class MorselSink:
