@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test fuzz coverage examples bench bench-full docs-check
+.PHONY: test fuzz coverage examples bench bench-full serve-bench docs-check
 
 ## Tier-1 test suite (what CI runs).  Includes 200 seeded differential
 ## plan-fuzzing cases; `make fuzz` cranks the seed count.
@@ -46,3 +46,13 @@ bench:
 ## Larger TPC-H scale factor for more stable wall-clock numbers.
 bench-full:
 	$(PYTHON) benchmarks/run_benchmarks.py --sf 0.1 --repeat 5
+
+## Serving smoke run (CI job "serve"): the cold tpch suite plus the
+## 4-tenant serve suite into a scratch file, then gate the invariants —
+## served per-query simulated seconds bit-identical to the cold suite AND
+## to the recorded BENCH_results.json baseline, throughput >= 2x serial.
+serve-bench:
+	$(PYTHON) benchmarks/run_benchmarks.py --suites tpch serve \
+		--sf 0.05 --repeat 1 --output /tmp/BENCH_serve_smoke.json
+	$(PYTHON) tools/check_serve.py --bench /tmp/BENCH_serve_smoke.json \
+		--baseline BENCH_results.json --min-speedup 2.0

@@ -46,6 +46,7 @@ if str(_REPO / "src") not in sys.path:
 from repro.engine import HAPEEngine  # noqa: E402
 from repro.hardware import default_server  # noqa: E402
 from repro.perf import JoinModels, TPCHModels  # noqa: E402
+from repro.server import QueryServer  # noqa: E402
 from repro.storage import generate_tpch  # noqa: E402
 from repro.workloads import (  # noqa: E402
     all_queries,
@@ -216,6 +217,92 @@ def suite_mem(args: argparse.Namespace, topology) -> dict:
     }
 
 
+#: The serve suite's tenant mix: a 4-tenant mixed CPU/GPU closed loop.
+SERVE_TENANTS = (("cpu-a", "cpu"), ("gpu-a", "gpu"),
+                 ("cpu-b", "cpu"), ("gpu-b", "gpu"))
+
+
+def suite_serve(args: argparse.Namespace) -> dict:
+    """Closed-loop multi-tenant serving benchmark (the ``serve`` suite).
+
+    Four tenants — two submitting CPU-mode streams, two GPU-mode — each
+    enqueue ``--serve-passes`` passes of every evaluated TPC-H query to one
+    :class:`~repro.server.QueryServer` (per-tenant concurrency 1, so each
+    tenant is a closed loop).  The device-aware scheduler overlaps the
+    CPU-bound and PCIe/GPU-bound streams on the occupancy board, which is
+    where the throughput gain over serial submission comes from; the
+    shared cache keeps repeat passes functionally warm (wall-clock only).
+
+    Reported: real wall-clock of the served drain, server makespan and
+    serial-submission baseline in simulated seconds, the throughput
+    speedup, p50/p99 latency, cache/tenant counters — and the per-query
+    simulated seconds, which must stay *bit-identical* to the cold
+    single-session ``tpch`` suite (``single_query_simulated_identical``;
+    ``tools/check_serve.py`` gates CI on it).
+    """
+    dataset = generate_tpch(args.sf, seed=args.seed)
+    queries = all_queries(dataset)
+    passes = max(args.serve_passes, 1)
+
+    def one_served_run():
+        server = QueryServer(default_server())
+        server.register_dataset(dataset.tables)
+        for tenant, _ in SERVE_TENANTS:
+            server.open_session(tenant)
+        for _ in range(passes):
+            for tenant, mode in SERVE_TENANTS:
+                for name, query in queries.items():
+                    server.submit(tenant, query.plan, mode,
+                                  label=f"{name}/{mode}")
+        return server.run()
+
+    wall, report = _best_wall(args.repeat, one_served_run)
+
+    # Per-(query, mode) simulated seconds as served: every repetition must
+    # agree, and the values must equal a cold solo session's bit for bit.
+    served: dict[str, set] = {}
+    for ticket in report.tickets:
+        served.setdefault(ticket.label, set()).add(
+            ticket.result.simulated_seconds)
+    engine = HAPEEngine(default_server(), cache_budget_bytes=0)
+    engine.register_dataset(dataset.tables, replace=True)
+    solo = {}
+    identical = all(len(values) == 1 for values in served.values())
+    for name, query in queries.items():
+        for mode in sorted({mode for _, mode in SERVE_TENANTS}):
+            label = f"{name}/{mode}"
+            solo[label] = engine.execute(query.plan, mode).simulated_seconds
+            identical = identical and served.get(label) == {solo[label]}
+
+    stats = report.cache
+    return {
+        "scale_factor": args.sf,
+        "tenants": {tenant: mode for tenant, mode in SERVE_TENANTS},
+        "passes": passes,
+        "queries_served": report.completed,
+        "queries_rejected": report.rejected,
+        "wall_clock_seconds": wall,
+        "server_makespan_seconds": report.makespan,
+        "serial_seconds": report.serial_seconds,
+        "throughput_qps": report.throughput_qps,
+        "throughput_speedup_vs_serial": report.speedup_vs_serial,
+        "latency_p50_seconds": report.percentile_latency(50),
+        "latency_p99_seconds": report.percentile_latency(99),
+        "queue_wait_seconds_total": sum(
+            tenant.queue_wait_seconds for tenant in report.tenants.values()),
+        "cache": {
+            "hits": stats.hits, "misses": stats.misses,
+            "evicted": stats.evicted, "invalidated": stats.invalidated,
+            "entries": stats.entries, "bytes_used": stats.bytes_used,
+        },
+        "tenant_cache_hits": {
+            name: tenant.cache.hits
+            for name, tenant in sorted(report.tenants.items())},
+        "simulated_seconds": solo,
+        "single_query_simulated_identical": identical,
+    }
+
+
 def suite_fig5(args: argparse.Namespace, join_models: JoinModels) -> dict:
     wall, series = _best_wall(args.repeat, join_models.figure5_series)
     return {
@@ -323,11 +410,14 @@ def main(argv: list[str] | None = None) -> int:
                              "at every plan node)")
     parser.add_argument("--mem-sf", type=float, default=0.2,
                         help="TPC-H scale factor for the peak-memory suite")
+    parser.add_argument("--serve-passes", type=int, default=2,
+                        help="closed-loop passes each tenant of the serve "
+                             "suite submits")
     parser.add_argument("--output", type=Path,
                         default=_REPO / "BENCH_results.json")
     parser.add_argument("--suites", nargs="*",
                         default=["fig5", "fig6", "fig7", "fig8", "fig9",
-                                 "tpch", "tpch_warm", "mem"],
+                                 "tpch", "tpch_warm", "mem", "serve"],
                         help="subset of suites to run")
     args = parser.parse_args(argv)
 
@@ -344,6 +434,7 @@ def main(argv: list[str] | None = None) -> int:
         "tpch": lambda: suite_tpch(args, topology),
         "tpch_warm": lambda: suite_tpch_warm(args, topology),
         "mem": lambda: suite_mem(args, topology),
+        "serve": lambda: suite_serve(args),
     }
     suites = {}
     for name in args.suites:
@@ -364,6 +455,14 @@ def main(argv: list[str] | None = None) -> int:
             cache = suites[name]["cache"]
             summary += (f", speedup={suites[name]['warm_speedup']:.2f}x, "
                         f"cache hits={cache['hits']} misses={cache['misses']}")
+        if "throughput_speedup_vs_serial" in suites[name]:
+            record = suites[name]
+            summary += (
+                f", {record['queries_served']} queries, throughput "
+                f"{record['throughput_speedup_vs_serial']:.2f}x serial, "
+                f"p99 {record['latency_p99_seconds'] * 1e3:.3f}ms, "
+                f"single-query identical="
+                f"{record['single_query_simulated_identical']}")
         print(f"  {summary}")
 
     run_record = {
@@ -372,7 +471,7 @@ def main(argv: list[str] | None = None) -> int:
         "python": platform.python_version(),
         "args": {"sf": args.sf, "seed": args.seed, "repeat": args.repeat,
                  "morsel_rows": args.morsel_rows, "fusion": args.fusion,
-                 "mem_sf": args.mem_sf},
+                 "mem_sf": args.mem_sf, "serve_passes": args.serve_passes},
         "suites": suites,
     }
 

@@ -123,10 +123,14 @@ def is_fused_probe(op: PhysicalOp) -> bool:
     breaker, but after the build the probe is row-local (match lists are
     ordered by probe position), so probe morsels flow through without the
     join output ever materializing.  Radix/partitioned joins re-order both
-    inputs and need them whole, so they break the chain.
+    inputs and need them whole, so they break the chain.  A *swapped* join
+    (build side is the logical right input) breaks it too: its canonical
+    output order is build-major, which cannot be emitted as a probe-order
+    morsel stream.
     """
     return (isinstance(op, PJoin)
-            and op.algorithm is JoinAlgorithm.NON_PARTITIONED)
+            and op.algorithm is JoinAlgorithm.NON_PARTITIONED
+            and not op.swapped)
 
 
 def fused_chain(node: PhysicalOp,

@@ -71,6 +71,7 @@ bit-identical whether fusion is on or off, warm or cold.  Like
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field, replace
 from typing import Callable, Sequence, TypeVar
 
@@ -175,6 +176,10 @@ class ExecutorOptions:
     #: charged per occurrence regardless of cache hits, so simulated
     #: seconds are identical for every setting.
     cache_budget_bytes: int | None = DEFAULT_CACHE_BUDGET_BYTES
+    #: Victim-selection policy of the query cache: ``"lru"`` (default) or
+    #: ``"cost"`` (evict the lowest recompute-cost-per-byte entry first).
+    #: Wall-clock only, like the budget.
+    cache_eviction: str = "lru"
     #: Drive maximal chains of streaming operators morsel-at-a-time end to
     #: end, materializing only at fusion boundaries (breaker inputs).
     #: Wall-clock/working-set only — outputs, stats and simulated seconds
@@ -475,6 +480,10 @@ class ExecutionResult:
     #: distinct subplans, evictions during the query, plus invalidations
     #: since the previous query (catalog changes happen between executes).
     cache: CacheCounters = field(default_factory=CacheCounters)
+    #: Bytes of the largest intermediate batch the query materialized (the
+    #: widest single operator output; base-table scans excluded).  A
+    #: wall-clock/working-set diagnostic — never part of simulated time.
+    peak_intermediate_bytes: int = 0
 
     def utilization(self, resource: str) -> float:
         if self.simulated_seconds <= 0:
@@ -486,7 +495,8 @@ class Executor:
     """Interprets physical plans over the simulated topology."""
 
     def __init__(self, topology: Topology, catalog: Catalog,
-                 options: ExecutorOptions | None = None) -> None:
+                 options: ExecutorOptions | None = None, *,
+                 query_cache: QueryCache | None = None) -> None:
         self.topology = topology
         self.catalog = catalog
         self.options = options or ExecutorOptions()
@@ -494,13 +504,29 @@ class Executor:
         # Routes through the validating knobs so an invalid morsel_rows or
         # cache_budget_bytes in the options fails here, not mid-query.
         self.configure_morsels(self.options.morsel_rows)
-        #: Session-lifetime cross-query kernel cache; subscribes to the
-        #: catalog so table replacement/drop invalidates exactly the
-        #: entries that read the changed table.
-        self.query_cache = QueryCache(budget_bytes=None)
-        self.configure_cache(self.options.cache_budget_bytes)
-        catalog.subscribe(self.query_cache.invalidate_table)
+        if query_cache is not None:
+            # A server-owned shared cache (multi-tenant serving): its owner
+            # wires catalog invalidation exactly once and owns the budget /
+            # eviction-policy knobs; the options mirror its settings.
+            self.query_cache = query_cache
+            self._owns_cache = False
+            self.options = replace(
+                self.options, cache_budget_bytes=query_cache.budget_bytes,
+                cache_eviction=query_cache.policy)
+        else:
+            #: Session-lifetime cross-query kernel cache; subscribes to the
+            #: catalog so table replacement/drop invalidates exactly the
+            #: entries that read the changed table.
+            self.query_cache = QueryCache(budget_bytes=None)
+            self._owns_cache = True
+            self.configure_cache(self.options.cache_budget_bytes)
+            self.configure_eviction(self.options.cache_eviction)
+            catalog.subscribe(self.query_cache.invalidate_table)
         self._cache_mark = self.query_cache.counters()
+        #: Largest intermediate batch (bytes of one operator's output
+        #: columns, base-table scans excluded) materialized by the current
+        #: query — a wall-clock/working-set diagnostic for serving reports.
+        self._peak_intermediate = 0
         # Per-query state: an overlay memo over the session cache (keeps
         # within-plan repeats single-evaluated regardless of cache budget),
         # the structural-key id-cache for the current plan, and the
@@ -524,12 +550,29 @@ class Executor:
     def configure_cache(self, cache_budget_bytes: int | None) -> None:
         """Re-tune the session cache budget (``cache_budget_bytes`` knob).
 
-        Shrinking evicts LRU entries down to the new budget immediately;
+        Shrinking evicts entries down to the new budget immediately;
         ``0`` disables cross-query caching, ``None`` lifts the bound.
+        Sessions sharing a server-owned cache cannot re-tune it here —
+        budget and policy belong to the server.
         """
+        self._require_cache_ownership()
         self.query_cache.set_budget(cache_budget_bytes)
         self.options = replace(self.options,
                                cache_budget_bytes=self.query_cache.budget_bytes)
+
+    def configure_eviction(self, policy: str) -> None:
+        """Re-tune cache victim selection (the ``cache_eviction`` knob).
+
+        ``"lru"`` keeps the most recently used entries, ``"cost"`` keeps
+        the highest recompute-cost-per-byte entries.  Takes effect for
+        future evictions; retained entries are untouched.  Wall-clock only
+        — like the budget, the policy can never change a simulated second.
+        Sessions sharing a server-owned cache tune it on the server.
+        """
+        self._require_cache_ownership()
+        self.query_cache.set_policy(policy)
+        self.options = replace(self.options,
+                               cache_eviction=self.query_cache.policy)
 
     def configure_fusion(self, enabled: bool) -> None:
         """Re-tune pipeline-fused streaming (the ``pipeline_fusion`` knob).
@@ -545,11 +588,18 @@ class Executor:
             raise ValueError("pipeline_fusion must be a bool")
         self.options = replace(self.options, pipeline_fusion=enabled)
 
+    def _require_cache_ownership(self) -> None:
+        if not getattr(self, "_owns_cache", True):
+            raise ValueError(
+                "this session shares a server-owned query cache; tune the "
+                "budget and eviction policy on the owning QueryServer")
+
     # ------------------------------------------------------------------
     def execute(self, plan: PhysicalOp) -> ExecutionResult:
         """Run a physical plan and report result plus simulated timing."""
         self.topology.reset()
         self.scheduler.reset()
+        self._peak_intermediate = 0
         self._query_memo = {}
         self._key_cache = {}
         # Snapshot the catalog versions once: the catalog cannot change
@@ -587,6 +637,7 @@ class Executor:
             plan=plan,
             morsels_dispatched=self.scheduler.morsels_dispatched,
             cache=cache_delta,
+            peak_intermediate_bytes=self._peak_intermediate,
         )
 
     # ------------------------------------------------------------------
@@ -635,12 +686,18 @@ class Executor:
             if self.query_cache.enabled:
                 result = self.query_cache.get(session_key)
             if result is None:
+                started = time.perf_counter()
                 result = run()
                 if self.query_cache.enabled:
+                    # The measured evaluation time is the recompute-cost
+                    # signal of the "cost" eviction policy; it is recorded
+                    # for every entry so retuning the policy mid-session
+                    # has full information.
                     self.query_cache.put(
                         session_key, result,
                         nbytes=0 if zero_copy else result_nbytes(result),
-                        tables=referenced_tables(node))
+                        tables=referenced_tables(node),
+                        cost_seconds=time.perf_counter() - started)
             self._query_memo.setdefault(key, {})[tuning] = result
         remaining = self._key_refs.get(key, 0) - 1
         if remaining <= 0:
@@ -731,9 +788,11 @@ class Executor:
         meta = _stage_meta(source)
         for stage, record in zip(stages, records):
             meta = stage.replay(self, meta, record)
-        return NodeResult(columns=columns, ready=meta.ready,
-                          location=meta.location, devices=meta.devices,
-                          kernel_tag=meta.kernel_tag)
+        result = NodeResult(columns=columns, ready=meta.ready,
+                            location=meta.location, devices=meta.devices,
+                            kernel_tag=meta.kernel_tag)
+        self._peak_intermediate = max(self._peak_intermediate, result.nbytes)
+        return result
 
     def _run_fused_chain(self, stages: Sequence, source: NodeResult,
                          ) -> tuple[ArrayMap, tuple]:
@@ -934,20 +993,25 @@ class Executor:
         if isinstance(node, PScan):
             return self._execute_scan(node)
         if isinstance(node, Router):
-            return self._execute_router(node)
-        if isinstance(node, MemMove):
-            return self._execute_memmove(node)
-        if isinstance(node, DeviceCrossing):
-            return self._execute_crossing(node)
-        if isinstance(node, PFilterProject):
-            return self._execute_filter_project(node)
-        if isinstance(node, PAggregate):
-            return self._execute_aggregate(node)
-        if isinstance(node, PJoin):
-            return self._execute_join(node)
-        if isinstance(node, PSort):
-            return self._execute_sort(node)
-        raise ExecutionError(f"executor cannot run {type(node).__name__}")
+            result = self._execute_router(node)
+        elif isinstance(node, MemMove):
+            result = self._execute_memmove(node)
+        elif isinstance(node, DeviceCrossing):
+            result = self._execute_crossing(node)
+        elif isinstance(node, PFilterProject):
+            result = self._execute_filter_project(node)
+        elif isinstance(node, PAggregate):
+            result = self._execute_aggregate(node)
+        elif isinstance(node, PJoin):
+            result = self._execute_join(node)
+        elif isinstance(node, PSort):
+            result = self._execute_sort(node)
+        else:
+            raise ExecutionError(f"executor cannot run {type(node).__name__}")
+        # Exchange operators forward their child's columns, so counting
+        # them re-measures the same batch — harmless for a running max.
+        self._peak_intermediate = max(self._peak_intermediate, result.nbytes)
+        return result
 
     def _execute_scan(self, node: PScan) -> NodeResult:
         table = self.catalog.table(node.table)
@@ -1061,6 +1125,17 @@ class Executor:
     # ------------------------------------------------------------------
     # Joins
     # ------------------------------------------------------------------
+    @staticmethod
+    def _join_order(node: PJoin) -> str:
+        """Canonical output order of a join node.
+
+        Every join emits rows in the reference executor's order — by
+        logical-right position, ties by logical-left position.  That is
+        probe-major when the probe side is the logical right input and
+        build-major when the optimizer swapped the sides.
+        """
+        return "build" if node.swapped else "probe"
+
     def _execute_join(self, node: PJoin) -> NodeResult:
         build = self._execute_chain(node.build)
         probe = self._execute_chain(node.probe)
@@ -1081,7 +1156,8 @@ class Executor:
                     build_keys=node.build_keys, probe_keys=node.probe_keys,
                     spec=cpus[0].spec,
                     morsel_rows=self.scheduler.grant(build.num_rows,
-                                                     probe.num_rows)),
+                                                     probe.num_rows),
+                    output_order=self._join_order(node)),
                 tuning=tag)
             cost = estimate_cpu_radix_join(stats, cpus[0])
             ready = self._charge_parallel(
@@ -1107,7 +1183,8 @@ class Executor:
                     build_keys=node.build_keys, probe_keys=node.probe_keys,
                     spec=gpus[0].spec,
                     morsel_rows=self.scheduler.grant(build.num_rows,
-                                                     probe.num_rows)),
+                                                     probe.num_rows),
+                    output_order=self._join_order(node)),
                 tuning=tag)
             cost = estimate_gpu_partitioned_join(stats, gpus[0])
             ready = self._charge_parallel(
@@ -1131,7 +1208,8 @@ class Executor:
                 build.columns, probe.columns,
                 build_keys=node.build_keys, probe_keys=node.probe_keys,
                 morsel_rows=self.scheduler.grant(build.num_rows,
-                                                 probe.num_rows)),
+                                                 probe.num_rows),
+                output_order=self._join_order(node)),
             tuning=join_tag)
         ready = self._charge_hash_join(devices, stats, _stage_meta(probe),
                                        earliest=earliest,
@@ -1178,7 +1256,7 @@ class Executor:
         result = coprocessed_radix_join(
             build.columns, probe.columns, self.topology,
             build_keys=node.build_keys, probe_keys=node.probe_keys,
-            cpu=cpu, gpus=gpus)
+            cpu=cpu, gpus=gpus, output_order=self._join_order(node))
         ready = max(earliest,
                     max(device.clock.available_at for device in [cpu, *gpus]))
         coproc_tag = build.kernel_tag + probe.kernel_tag + (

@@ -205,8 +205,12 @@ class Optimizer:
     def _convert_join(self, plan: Join, mode: ExecutionMode) -> PhysicalOp:
         left_rows = self._estimate_rows(plan.left)
         right_rows = self._estimate_rows(plan.right)
-        # The smaller input becomes the build side.
-        if left_rows <= right_rows:
+        # The smaller input becomes the build side.  ``swapped`` records
+        # when that is the logical *right* input, so the join kernels can
+        # emit the canonical (reference-identical) output row order no
+        # matter which side was picked.
+        swapped = left_rows > right_rows
+        if not swapped:
             build_plan, probe_plan = plan.left, plan.right
             build_keys, probe_keys = plan.left_keys, plan.right_keys
             build_rows, probe_rows = left_rows, right_rows
@@ -225,7 +229,7 @@ class Optimizer:
         traits = self._worker_traits(mode, locality=probe.traits.locality)
         return PJoin(traits=traits, build=build, probe=probe,
                      build_keys=tuple(build_keys), probe_keys=tuple(probe_keys),
-                     algorithm=algorithm)
+                     algorithm=algorithm, swapped=swapped)
 
     def _convert_aggregate(self, plan: Aggregate, mode: ExecutionMode) -> PhysicalOp:
         child = self._convert(plan.child, mode)

@@ -66,6 +66,10 @@ class QueryResult:
     #: distinct subplans, ``invalidated`` covers catalog changes since the
     #: previous query of the session.
     cache: CacheCounters = field(default_factory=CacheCounters)
+    #: Bytes of the widest single intermediate batch the query
+    #: materialized (scans excluded) — the per-query working-set figure
+    #: multi-tenant serving reports account against memory budgets.
+    peak_intermediate_bytes: int = 0
 
     @property
     def makespan_ms(self) -> float:
@@ -128,6 +132,17 @@ class HAPEEngine:
         by default.  Wall-clock/working-set only — results and simulated
         seconds are bit-identical with fusion on or off.  Overrides
         ``executor_options.pipeline_fusion`` when both are given.
+    cache_eviction:
+        Victim-selection policy of the query cache: ``"lru"`` (default)
+        or ``"cost"`` (evict the lowest recompute-cost-per-byte entry
+        first).  Wall-clock only, like the budget.
+    catalog / query_cache:
+        Normally omitted — the session owns a private catalog and cache.
+        A :class:`~repro.server.QueryServer` passes its *shared* catalog
+        and :class:`~repro.server.SharedQueryCache` here so tenant
+        sessions see one table registry and reuse each other's warm
+        kernel results; such sessions cannot re-tune the cache knobs
+        (budget and policy belong to the server).
     """
 
     def __init__(self, topology: Topology | None = None, *,
@@ -136,18 +151,32 @@ class HAPEEngine:
                  morsel_rows: int | None = _UNSET,  # type: ignore[assignment]
                  cache_budget_bytes: int | None = _UNSET,  # type: ignore[assignment]
                  pipeline_fusion: bool = _UNSET,  # type: ignore[assignment]
+                 cache_eviction: str = _UNSET,  # type: ignore[assignment]
+                 catalog: Catalog | None = None,
+                 query_cache=None,
                  ) -> None:
+        if query_cache is not None and catalog is None:
+            # A shared cache is keyed by (and invalidated through) the
+            # catalog it was built against; pairing it with a private
+            # catalog would collide version counters across sessions and
+            # silently serve one catalog's rows for another's tables.
+            raise ValueError(
+                "query_cache requires the shared catalog it is keyed "
+                "against; pass both (a QueryServer does)")
         self.topology = topology if topology is not None else default_server()
-        self.catalog = Catalog()
+        self.catalog = catalog if catalog is not None else Catalog()
         self.optimizer = Optimizer(self.topology, self.catalog,
                                    optimizer_options)
-        self.executor = Executor(self.topology, self.catalog, executor_options)
+        self.executor = Executor(self.topology, self.catalog, executor_options,
+                                 query_cache=query_cache)
         if morsel_rows is not _UNSET:
             self.executor.configure_morsels(morsel_rows)
         if cache_budget_bytes is not _UNSET:
             self.executor.configure_cache(cache_budget_bytes)
         if pipeline_fusion is not _UNSET:
             self.executor.configure_fusion(pipeline_fusion)
+        if cache_eviction is not _UNSET:
+            self.executor.configure_eviction(cache_eviction)
 
     # ------------------------------------------------------------------
     # Session knobs
@@ -182,6 +211,23 @@ class HAPEEngine:
     @cache_budget_bytes.setter
     def cache_budget_bytes(self, value: int | None) -> None:
         self.executor.configure_cache(value)
+
+    @property
+    def cache_eviction(self) -> str:
+        """Victim-selection policy of the query cache (default ``"lru"``).
+
+        ``"lru"`` discards the least-recently-used entry when the byte
+        budget overflows; ``"cost"`` discards the entry with the lowest
+        measured recompute cost per byte, so small-but-expensive results
+        (a filtered join build) outlive large-but-cheap ones.  Assigning
+        re-tunes the cache in place; results and simulated timings are
+        unaffected by either policy.
+        """
+        return self.executor.options.cache_eviction
+
+    @cache_eviction.setter
+    def cache_eviction(self, value: str) -> None:
+        self.executor.configure_eviction(value)
 
     @property
     def pipeline_fusion(self) -> bool:
@@ -281,6 +327,7 @@ class HAPEEngine:
             pipelines=pipelines,
             morsels_dispatched=result.morsels_dispatched,
             cache=result.cache,
+            peak_intermediate_bytes=result.peak_intermediate_bytes,
         )
 
 

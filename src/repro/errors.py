@@ -81,3 +81,25 @@ class UnsupportedQueryError(ExecutionError):
 
 class OptimizerError(ReproError):
     """Raised when the heterogeneity-aware optimizer cannot place a plan."""
+
+
+class ServingError(ReproError):
+    """Errors raised by the multi-tenant serving subsystem."""
+
+
+class AdmissionError(ServingError):
+    """Raised when the admission controller refuses a submission.
+
+    Backpressure surfaces here: a tenant whose bounded queue is full, or
+    whose query could never satisfy its memory budget, is rejected at
+    submit time instead of being queued forever.
+    """
+
+    def __init__(self, tenant: str, reason: str) -> None:
+        self.tenant = tenant
+        self.reason = reason
+        super().__init__(f"tenant {tenant!r}: {reason}")
+
+
+class UnknownTenantError(ServingError):
+    """Raised when a tenant name has no open session on the server."""

@@ -10,15 +10,82 @@ plan broadcasts with minimal copies) is plain shortest-path computation.
 from __future__ import annotations
 
 from dataclasses import replace
-from typing import Sequence
+from typing import Callable, Mapping, Sequence
 
 import networkx as nx
 
 from ..errors import NoRouteError, UnknownDeviceError
-from .clock import Timeline
+from .clock import SimClock, Timeline
 from .device import Device, DeviceGroup
 from .interconnect import Link, Route
 from .specs import DeviceKind, DeviceSpec, LinkSpec, gtx_1080, pcie3_x16, qpi_link, xeon_e5_2650l_v3
+
+
+class OccupancyBoard:
+    """Server-time occupancy ledgers for every resource of a topology.
+
+    Query execution charges *per-query* simulated time to the device and
+    link clocks, which :meth:`Topology.reset` zeroes before every
+    ``execute``.  A multi-tenant server needs a second notion of time that
+    spans queries: when each resource is busy *in server time*, so a
+    scheduler can overlap queries that use disjoint resources.  The board
+    keeps one :class:`~repro.hardware.clock.SimClock` per resource name
+    (devices and links alike), deliberately outside the reset path — it is
+    cleared only by :meth:`Topology.reset_occupancy` (or :meth:`clear`).
+
+    Reservations come from the existing cost model: the serving scheduler
+    reserves each resource for the busy seconds a query's execution
+    charged to it, so board contention mirrors what the per-query
+    timelines measured.
+    """
+
+    def __init__(self, known: Callable[[str], bool]) -> None:
+        self._known = known
+        self._clocks: dict[str, SimClock] = {}
+
+    def clock(self, resource: str) -> SimClock:
+        """The server-time ledger of one resource (created on demand)."""
+        if resource not in self._clocks:
+            if not self._known(resource):
+                raise UnknownDeviceError(
+                    f"unknown resource {resource!r} for occupancy tracking")
+            self._clocks[resource] = SimClock(resource)
+        return self._clocks[resource]
+
+    def available_at(self, resources: Sequence[str]) -> float:
+        """Earliest server time at which *all* given resources are free."""
+        return max((self.clock(name).available_at for name in resources),
+                   default=0.0)
+
+    def reserve(self, resources: Mapping[str, float], *,
+                earliest: float = 0.0, label: str = "query") -> float:
+        """Reserve each resource for its busy duration at a common start.
+
+        The start time is ``max(earliest, availability of every named
+        resource)`` — one query begins on all its resources together — and
+        each resource is then occupied for its own duration, so a
+        PCIe-bound query frees the GPU clock early while a saturating scan
+        holds its CPUs to the end.  Returns the common start time.
+        """
+        start = max(self.available_at(tuple(resources)), earliest)
+        for name, duration in resources.items():
+            self.clock(name).reserve(float(duration), earliest=start,
+                                     label=label)
+        return start
+
+    def busy_time(self, resource: str) -> float:
+        return self.clock(resource).busy_time
+
+    @property
+    def makespan(self) -> float:
+        """Latest reservation end across every tracked resource."""
+        return max((clock.available_at for clock in self._clocks.values()),
+                   default=0.0)
+
+    def clear(self) -> None:
+        """Forget every reservation (a new serving epoch)."""
+        for clock in self._clocks.values():
+            clock.reset()
 
 
 class Topology:
@@ -28,6 +95,13 @@ class Topology:
         self._devices: dict[str, Device] = {}
         self._links: dict[str, Link] = {}
         self._graph = nx.Graph()
+        #: Server-time occupancy ledgers (multi-tenant serving); survives
+        #: :meth:`reset` on purpose — per-query clocks restart at zero for
+        #: every execution, server time never rewinds mid-epoch.
+        self.occupancy = OccupancyBoard(self._knows_resource)
+
+    def _knows_resource(self, name: str) -> bool:
+        return name in self._devices or name in self._links
 
     # ------------------------------------------------------------------
     # Construction
@@ -121,11 +195,20 @@ class Topology:
         return timeline
 
     def reset(self) -> None:
-        """Reset all clocks and memory pools (between experiments)."""
+        """Reset all clocks and memory pools (between experiments).
+
+        Occupancy ledgers are *not* touched: they track server time across
+        queries (see :class:`OccupancyBoard`); use
+        :meth:`reset_occupancy` to start a new serving epoch.
+        """
         for device in self._devices.values():
             device.reset()
         for link in self._links.values():
             link.reset()
+
+    def reset_occupancy(self) -> None:
+        """Clear the server-time occupancy ledgers (new serving epoch)."""
+        self.occupancy.clear()
 
     def describe(self) -> str:
         """Human-readable summary used by the examples."""

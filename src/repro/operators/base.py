@@ -137,9 +137,36 @@ class OpOutput:
         return int(sum(values.nbytes for values in self.columns.values()))
 
 
+#: Name prefix of the bookkeeping columns the partitioned join kernels
+#: thread through their passes to restore the canonical output row order
+#: (original build/probe positions).  These columns are pure row-order
+#: bookkeeping: they are dropped from every kernel output and excluded from
+#: every byte-based stats quantity, so threading them through a kernel can
+#: never change a simulated cost.
+ORDER_COLUMN_PREFIX = "__ord"
+
+
+def is_order_column(name: str) -> bool:
+    """True for the row-order bookkeeping columns of the join kernels."""
+    return name.startswith(ORDER_COLUMN_PREFIX)
+
+
 def columns_nbytes(columns: Mapping[str, np.ndarray]) -> int:
     """Total payload bytes of a column map."""
     return int(sum(np.asarray(values).nbytes for values in columns.values()))
+
+
+def payload_nbytes(columns: Mapping[str, np.ndarray]) -> int:
+    """Payload bytes excluding row-order bookkeeping columns.
+
+    Stats records must charge exactly the data a real execution would touch;
+    the ``__ord*`` position columns exist only to restore the canonical
+    output order, so every byte-derived stats quantity uses this instead of
+    :func:`columns_nbytes` wherever such columns may be present.
+    """
+    return int(sum(np.asarray(values).nbytes
+                   for name, values in columns.items()
+                   if not is_order_column(name)))
 
 
 def columns_num_rows(columns: Mapping[str, np.ndarray]) -> int:

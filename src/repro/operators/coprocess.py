@@ -38,6 +38,7 @@ from .base import (
     OpCost,
     OpOutput,
     columns_num_rows,
+    payload_nbytes,
     record_kernel_invocation,
 )
 from .exchange import Router, zip_partitions
@@ -48,9 +49,12 @@ from .gpujoin import (
 )
 from .hashjoin import HASH_ENTRY_BYTES, composite_key
 from .radix import (
+    _validate_output_order,
+    attach_order_columns,
     estimate_radix_partition,
     partition_tuple_bytes,
     radix_partition_kernel,
+    restore_canonical_order,
 )
 from ..relational.physical import RoutingPolicy
 
@@ -91,13 +95,23 @@ def coprocessed_radix_join(build: Mapping[str, np.ndarray],
                            probe_keys: Sequence[str],
                            cpu: Device | None = None,
                            gpus: Sequence[Device] | None = None,
-                           config: GpuJoinConfig | None = None) -> OpOutput:
-    """Execute the CPU+GPU co-processed radix join and schedule its timeline."""
+                           config: GpuJoinConfig | None = None,
+                           output_order: str | None = "probe") -> OpOutput:
+    """Execute the CPU+GPU co-processed radix join and schedule its timeline.
+
+    ``output_order`` restores the canonical join output order over the
+    merged per-co-partition results (``"probe"``-major by default,
+    ``"build"``-major for joins whose build side is the logical right
+    input, ``None`` for the raw partition-major order).  The bookkeeping
+    columns it requires are excluded from every transfer size and cost
+    stat, so the simulated timeline is identical for every setting.
+    """
     cpu = cpu or topology.cpus()[0]
     gpus = list(gpus if gpus is not None else topology.gpus())
     if not gpus:
         raise ExecutionError("co-processing requires at least one GPU")
     config = config or GpuJoinConfig()
+    _validate_output_order(output_order)
     record_kernel_invocation("coprocessed_radix_join")
 
     build = {name: np.asarray(values) for name, values in build.items()}
@@ -108,6 +122,8 @@ def coprocessed_radix_join(build: Mapping[str, np.ndarray],
     probe_rows = columns_num_rows(probe)
     tuple_bytes = partition_tuple_bytes(build)
     probe_tuple_bytes = partition_tuple_bytes(probe)
+    if output_order is not None:
+        attach_order_columns(build, probe, build_rows, probe_rows)
 
     plan = plan_coprocessing(max(build_rows, 1), max(probe_rows, 1),
                              HASH_ENTRY_BYTES, gpus)
@@ -142,7 +158,10 @@ def coprocessed_radix_join(build: Mapping[str, np.ndarray],
     for build_block, probe_block in pairs:
         gpu = router.route(build_block)
         route = topology.route(cpu.name, gpu.name)
-        pair_bytes = build_block.nbytes + probe_block.nbytes
+        # The order-bookkeeping columns never cross PCIe in a real
+        # execution — only payload bytes are charged to the link.
+        pair_bytes = (payload_nbytes(build_block.columns)
+                      + payload_nbytes(probe_block.columns))
         if not gpu.fits_in_memory(pair_bytes):
             raise ExecutionError(
                 f"co-partition of {pair_bytes} bytes exceeds {gpu.name} memory; "
@@ -153,7 +172,8 @@ def coprocessed_radix_join(build: Mapping[str, np.ndarray],
         total_cost.add("pcie-transfer", route.transfer_time(pair_bytes))
         result_columns, join_stats = gpu_partitioned_join_kernel(
             build_block.columns, probe_block.columns,
-            build_keys=["__key"], probe_keys=["__key"], spec=gpu.spec)
+            build_keys=["__key"], probe_keys=["__key"], spec=gpu.spec,
+            output_order=None)
         join_cost = estimate_gpu_partitioned_join(join_stats, gpu,
                                                   config=config)
         gpu.charge(join_cost.seconds, earliest=ready,
@@ -172,4 +192,6 @@ def coprocessed_radix_join(build: Mapping[str, np.ndarray],
                   for name, values in build.items() if name != "__key"}
         merged.update({name: np.asarray(values)[:0]
                        for name, values in probe.items() if name != "__key"})
+    if output_order is not None:
+        merged = restore_canonical_order(merged, output_order=output_order)
     return OpOutput(columns=merged, cost=total_cost)

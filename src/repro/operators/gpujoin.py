@@ -31,6 +31,7 @@ from .base import (
     OpCost,
     OpOutput,
     columns_num_rows,
+    payload_nbytes,
     record_kernel_invocation,
 )
 from .filterproject import compute_ops_per_sec
@@ -38,9 +39,12 @@ from .hashjoin import HASH_ENTRY_BYTES, composite_key, join_match_indices
 from .radix import (
     PartitionPlan,
     PartitionRunStats,
+    _validate_output_order,
+    attach_order_columns,
     estimate_partition_run,
     partition_by_plan_kernel,
     plan_partition_passes,
+    restore_canonical_order,
 )
 
 PROBE_VARIANTS = ("SM", "L1", "SM+L1")
@@ -163,6 +167,7 @@ def gpu_partitioned_join_kernel(
         probe_keys: Sequence[str],
         spec: DeviceSpec,
         morsel_rows: int | None = None,
+        output_order: str | None = "probe",
 ) -> tuple[ArrayMap, GpuJoinStats]:
     """Evaluate the in-GPU partitioned join once.
 
@@ -173,8 +178,14 @@ def gpu_partitioned_join_kernel(
     with ``morsel_rows`` set, each input is consumed as a morsel stream
     (zero-copy sinks for resident batches) before partitioning, keeping
     results and pass shapes bit-identical for every morsel size.
+
+    ``output_order`` restores the canonical join output order exactly like
+    :func:`repro.operators.radix.cpu_radix_join_kernel`; the co-processed
+    join passes ``None`` (it canonicalizes the merged result itself) and
+    every byte-based stat ignores the bookkeeping columns either way.
     """
     record_kernel_invocation("gpu_partitioned_join")
+    _validate_output_order(output_order)
     if morsel_rows is not None:
         build = MorselSink().extend(iter_morsels(build, morsel_rows)).finish()
         probe = MorselSink().extend(iter_morsels(probe, morsel_rows)).finish()
@@ -184,8 +195,9 @@ def gpu_partitioned_join_kernel(
     probe = dict(probe, __key=composite_key(probe, probe_keys))
     build_rows = columns_num_rows(build)
     probe_rows = columns_num_rows(probe)
-    input_bytes = int(sum(v.nbytes for v in build.values())
-                      + sum(v.nbytes for v in probe.values()))
+    input_bytes = payload_nbytes(build) + payload_nbytes(probe)
+    if output_order is not None:
+        attach_order_columns(build, probe, build_rows, probe_rows)
 
     plan = plan_partition_passes(max(build_rows, 1), HASH_ENTRY_BYTES, spec)
     build_parts, build_run = partition_by_plan_kernel(build, key="__key",
@@ -220,11 +232,13 @@ def gpu_partitioned_join_kernel(
                    for name, values in build.items() if name != "__key"}
         columns.update({name: np.asarray(values)[:0]
                         for name, values in probe.items() if name != "__key"})
+    if output_order is not None:
+        columns = restore_canonical_order(columns, output_order=output_order)
     stats = GpuJoinStats(
         build_rows=build_rows, probe_rows=probe_rows,
         input_nbytes=input_bytes, plan=plan,
         build_run=build_run, probe_run=probe_run,
-        output_nbytes=int(sum(v.nbytes for v in columns.values())),
+        output_nbytes=payload_nbytes(columns),
     )
     return columns, stats
 

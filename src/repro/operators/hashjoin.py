@@ -146,14 +146,26 @@ def hash_join_kernel(build: Mapping[str, np.ndarray],
                      build_keys: Sequence[str],
                      probe_keys: Sequence[str],
                      morsel_rows: int | None = None,
+                     output_order: str = "probe",
                      ) -> tuple[ArrayMap, JoinStats]:
     """Evaluate the equi-join once; device-independent.
 
     With ``morsel_rows`` set, the probe side streams through the build
     state morsel-at-a-time (build-then-probe); output and stats are
     bit-identical to the whole-column evaluation.
+
+    ``output_order`` selects the canonical output row order (see
+    ``docs/ARCHITECTURE.md``): ``"probe"`` (the default, and the join's
+    natural order) emits matches ordered by probe position with ties by
+    ascending build position; ``"build"`` emits build-major order — the
+    executor requests it for joins whose build side is the logical *right*
+    input, so every join's output matches the reference executor's
+    right-major order row for row.  The order never changes stats, only the
+    permutation of the output rows.
     """
     record_kernel_invocation("hash_join")
+    if output_order not in ("probe", "build"):
+        raise ValueError("output_order must be 'probe' or 'build'")
     if morsel_rows is None:
         builder = HashJoinBuild(build, build_keys=build_keys)
     else:
@@ -161,7 +173,29 @@ def hash_join_kernel(build: Mapping[str, np.ndarray],
             iter_morsels(build, morsel_rows), build_keys=build_keys)
     probe = {name: np.asarray(values) for name, values in probe.items()}
     probe_rows = columns_num_rows(probe)
-    if morsel_rows is None or probe_rows <= morsel_rows:
+    if output_order == "build":
+        # Collect the (build, probe) match positions — streamed per morsel
+        # with global probe offsets, so the concatenated index lists equal
+        # the whole-side probe — then re-sort build-major.  Stats see the
+        # same rows and bytes as the probe-major path.
+        build_parts: list[np.ndarray] = []
+        probe_parts: list[np.ndarray] = []
+        offset = 0
+        for morsel in iter_morsels(probe, morsel_rows):
+            build_idx, probe_idx = builder.index.probe(
+                composite_key(dict(morsel.columns), probe_keys))
+            build_parts.append(build_idx)
+            probe_parts.append(probe_idx + offset)
+            offset += morsel.num_rows
+        build_indices = (np.concatenate(build_parts) if build_parts
+                         else np.asarray([], dtype=np.int64))
+        probe_indices = (np.concatenate(probe_parts) if probe_parts
+                         else np.asarray([], dtype=np.int64))
+        order = np.lexsort((probe_indices, build_indices))
+        columns = _materialize_join(builder.columns, probe,
+                                    build_indices[order],
+                                    probe_indices[order])
+    elif morsel_rows is None or probe_rows <= morsel_rows:
         columns = builder.probe(probe, probe_keys=probe_keys)
     else:
         columns = concat_columns([

@@ -33,10 +33,12 @@ from ..hardware.device import Device
 from ..hardware.specs import DeviceKind, DeviceSpec
 from ..storage.morsel import MorselSink, iter_morsels
 from .base import (
+    ORDER_COLUMN_PREFIX,
     ArrayMap,
     OpCost,
     OpOutput,
     columns_num_rows,
+    is_order_column,
     record_kernel_invocation,
 )
 from .filterproject import compute_ops_per_sec
@@ -191,10 +193,16 @@ def radix_partition_kernel(columns: Mapping[str, np.ndarray], *,
 
 
 def partition_tuple_bytes(columns: Mapping[str, np.ndarray]) -> int:
-    """Bytes one tuple of a column map occupies during a partition pass."""
+    """Bytes one tuple of a column map occupies during a partition pass.
+
+    Row-order bookkeeping columns (``__ord*``) are excluded: they only
+    exist to restore the canonical join output order and must never change
+    a stats record (simulated costs derive from stats alone).
+    """
     return max(
         int(sum(np.asarray(values).dtype.itemsize
-                for values in columns.values())), 1)
+                for name, values in columns.items()
+                if not is_order_column(name))), 1)
 
 
 def estimate_radix_partition(num_rows: int, tuple_bytes: int, fanout: int,
@@ -271,6 +279,47 @@ def partition_by_plan(columns: Mapping[str, np.ndarray], device: Device, *,
 
 
 # ----------------------------------------------------------------------
+# Canonical output order of the partitioned joins
+# ----------------------------------------------------------------------
+#: Bookkeeping columns threading the original build/probe row positions
+#: through the partition passes, so the bucket-major match output can be
+#: restored to the canonical order.  Excluded from every byte-based stat.
+ORD_BUILD = ORDER_COLUMN_PREFIX + "_build"
+ORD_PROBE = ORDER_COLUMN_PREFIX + "_probe"
+
+
+def attach_order_columns(build: ArrayMap, probe: ArrayMap,
+                         build_rows: int, probe_rows: int) -> None:
+    """Add the original-position bookkeeping columns to both join inputs."""
+    build[ORD_BUILD] = np.arange(build_rows, dtype=np.int64)
+    probe[ORD_PROBE] = np.arange(probe_rows, dtype=np.int64)
+
+
+def restore_canonical_order(columns: ArrayMap, *,
+                            output_order: str) -> ArrayMap:
+    """Sort a partitioned join's output into the canonical row order.
+
+    ``"probe"`` orders by original probe position with ties by build
+    position (the natural order of the non-partitioned join); ``"build"``
+    is build-major.  The bookkeeping columns are dropped from the result.
+    """
+    build_pos = np.asarray(columns[ORD_BUILD])
+    probe_pos = np.asarray(columns[ORD_PROBE])
+    if output_order == "probe":
+        order = np.lexsort((build_pos, probe_pos))
+    else:
+        order = np.lexsort((probe_pos, build_pos))
+    return {name: np.asarray(values)[order]
+            for name, values in columns.items()
+            if not is_order_column(name)}
+
+
+def _validate_output_order(output_order: str | None) -> None:
+    if output_order not in ("probe", "build", None):
+        raise ValueError("output_order must be 'probe', 'build' or None")
+
+
+# ----------------------------------------------------------------------
 # CPU radix join
 # ----------------------------------------------------------------------
 @dataclass(frozen=True)
@@ -292,6 +341,7 @@ def cpu_radix_join_kernel(
         probe_keys: Sequence[str],
         spec: DeviceSpec,
         morsel_rows: int | None = None,
+        output_order: str | None = "probe",
 ) -> tuple[ArrayMap, CpuRadixJoinStats]:
     """Evaluate the partitioned CPU join once.
 
@@ -304,8 +354,17 @@ def cpu_radix_join_kernel(
     :class:`~repro.storage.morsel.MorselSink` instances (zero-copy for
     resident batches) before partitioning, so results and recorded pass
     shapes are bit-identical for every morsel size.
+
+    ``output_order`` restores the canonical join output order
+    (``"probe"``-major by default, ``"build"``-major for joins whose build
+    side is the logical right input) by threading original-position
+    bookkeeping columns through the passes and sorting the match output
+    once at the end; ``None`` leaves the bucket-major implementation order
+    (the co-processed join canonicalizes at its own level).  Stats are
+    identical for every setting.
     """
     record_kernel_invocation("cpu_radix_join")
+    _validate_output_order(output_order)
     if morsel_rows is not None:
         build = MorselSink().extend(iter_morsels(build, morsel_rows)).finish()
         probe = MorselSink().extend(iter_morsels(probe, morsel_rows)).finish()
@@ -315,6 +374,8 @@ def cpu_radix_join_kernel(
     probe = dict(probe, __key=composite_key(probe, probe_keys))
     build_rows = columns_num_rows(build)
     probe_rows = columns_num_rows(probe)
+    if output_order is not None:
+        attach_order_columns(build, probe, build_rows, probe_rows)
 
     tuple_bytes = HASH_ENTRY_BYTES
     plan = plan_partition_passes(max(build_rows, 1), tuple_bytes, spec)
@@ -329,6 +390,8 @@ def cpu_radix_join_kernel(
                                                       plan=probe_plan)
 
     columns = _join_copartitions(build_parts, probe_parts, build, probe)
+    if output_order is not None:
+        columns = restore_canonical_order(columns, output_order=output_order)
     stats = CpuRadixJoinStats(
         build_rows=build_rows, probe_rows=probe_rows, plan=plan,
         build_run=build_run, probe_run=probe_run,

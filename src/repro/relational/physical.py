@@ -114,13 +114,27 @@ class PFilterProject(PhysicalOp):
 
 @dataclass(eq=False)
 class PJoin(PhysicalOp):
-    """Equi-join; ``algorithm`` selects the per-device implementation."""
+    """Equi-join; ``algorithm`` selects the per-device implementation.
+
+    ``swapped`` records whether the optimizer assigned the *logical right*
+    input to the build side.  Every join kernel emits the canonical output
+    order of the reference executor — rows ordered by logical-right
+    position, ties by logical-left position — which is probe-major when the
+    probe side is the logical right input and build-major when ``swapped``.
+    The flag is part of the functional identity of the node (it decides the
+    output row order), so :func:`structural_key` includes it like any other
+    field.
+    """
 
     build: PhysicalOp | None = None
     probe: PhysicalOp | None = None
     build_keys: tuple[str, ...] = ()
     probe_keys: tuple[str, ...] = ()
     algorithm: JoinAlgorithm = JoinAlgorithm.NON_PARTITIONED
+    #: True when the build side is the logical *right* input (the optimizer
+    #: picked the smaller side): the canonical output order is then
+    #: build-major instead of probe-major.
+    swapped: bool = False
 
     def __post_init__(self) -> None:
         if len(self.build_keys) != len(self.probe_keys):

@@ -1,0 +1,38 @@
+"""Multi-tenant serving: concurrent query scheduling over one engine.
+
+The serving subsystem layers three deterministic components over the
+single-session engine (see ``docs/SERVING.md``):
+
+* :class:`~repro.server.admission.AdmissionController` — per-tenant
+  bounded queues, concurrency and memory budgets, priority classes and
+  round-robin fairness (backpressure raises
+  :class:`~repro.errors.AdmissionError`);
+* :class:`~repro.server.scheduler.DeviceScheduler` — lays each admitted
+  query's cost-model busy seconds onto the topology's server-time
+  occupancy board, so queries on disjoint hardware overlap;
+* :class:`~repro.server.sharedcache.SharedQueryCache` — the session
+  kernel cache promoted to server scope, shared by every tenant with
+  per-tenant hit/miss attribution and the same catalog-versioned
+  invalidation contract.
+
+:class:`~repro.server.server.QueryServer` ties them together and reports
+per-tenant accounting through
+:class:`~repro.server.server.ServerReport`.
+"""
+
+from .admission import PRIORITY_CLASSES, AdmissionController, TenantPolicy
+from .scheduler import DeviceScheduler
+from .server import QueryServer, QueryTicket, ServerReport, TenantReport
+from .sharedcache import SharedQueryCache
+
+__all__ = [
+    "PRIORITY_CLASSES",
+    "AdmissionController",
+    "DeviceScheduler",
+    "QueryServer",
+    "QueryTicket",
+    "ServerReport",
+    "SharedQueryCache",
+    "TenantPolicy",
+    "TenantReport",
+]

@@ -1,0 +1,222 @@
+"""Admission control for the multi-tenant query server.
+
+The admission controller is the server's front door: every tenant gets a
+bounded FIFO queue and a :class:`TenantPolicy` (priority class, concurrency
+limit, memory budget), and the controller decides — deterministically —
+which queued query is dispatched next:
+
+* **Backpressure.**  Queues are bounded (``max_queue_depth``): a submission
+  to a full queue raises :class:`~repro.errors.AdmissionError` immediately
+  instead of growing server state without bound.  A query whose estimated
+  working set exceeds its tenant's entire memory budget is likewise
+  rejected at submit time — it could never be admitted.
+* **Concurrency and memory budgets.**  A tenant never has more than
+  ``max_concurrency`` queries in flight, and the sum of the estimated
+  bytes of its in-flight queries stays within ``memory_budget_bytes``;
+  queries that would overflow wait in the queue until a completion frees
+  headroom.
+* **Priority classes and fairness.**  Dispatch picks the eligible tenant
+  with the most urgent priority class first; within a class, tenants are
+  served round-robin by dispatch count (the tenant that has been granted
+  the fewest dispatches goes first), with arrival order as the final
+  deterministic tie-breaker.
+
+The controller knows nothing about devices or time beyond the submit
+timestamps it gates on — placement is the scheduler's job
+(:mod:`repro.server.scheduler`) and the event loop lives in
+:mod:`repro.server.server`.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import deque
+from dataclasses import dataclass
+from typing import Any
+
+from ..errors import AdmissionError, ServingError, UnknownTenantError
+
+#: Priority classes in dispatch order: lower rank dispatches first.
+PRIORITY_CLASSES = {"interactive": 0, "normal": 1, "batch": 2}
+
+
+@dataclass(frozen=True)
+class TenantPolicy:
+    """Per-tenant admission knobs.
+
+    ``priority`` is one of :data:`PRIORITY_CLASSES`; ``max_concurrency``
+    bounds in-flight queries, ``max_queue_depth`` bounds queued ones
+    (submissions beyond it are rejected — backpressure), and
+    ``memory_budget_bytes`` caps the summed working-set estimate of the
+    tenant's in-flight queries (``None`` = unlimited).
+    """
+
+    priority: str = "normal"
+    max_concurrency: int = 1
+    max_queue_depth: int = 32
+    memory_budget_bytes: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.priority not in PRIORITY_CLASSES:
+            raise ValueError(
+                f"priority must be one of {sorted(PRIORITY_CLASSES)}")
+        if self.max_concurrency < 1:
+            raise ValueError("max_concurrency must be >= 1")
+        if self.max_queue_depth < 1:
+            raise ValueError("max_queue_depth must be >= 1")
+        if (self.memory_budget_bytes is not None
+                and self.memory_budget_bytes < 0):
+            raise ValueError("memory_budget_bytes must be >= 0 or None")
+
+    @property
+    def rank(self) -> int:
+        return PRIORITY_CLASSES[self.priority]
+
+
+@dataclass
+class _Queued:
+    """One queued submission (the payload is opaque to the controller)."""
+
+    seq: int
+    item: Any
+    estimated_bytes: int
+    at: float
+
+
+class AdmissionController:
+    """Bounded, budgeted, priority-and-fairness-aware dispatch queues."""
+
+    def __init__(self) -> None:
+        self._policies: dict[str, TenantPolicy] = {}
+        self._queues: dict[str, deque[_Queued]] = {}
+        self._running: dict[str, int] = {}
+        self._in_flight_bytes: dict[str, int] = {}
+        self._dispatched: dict[str, int] = {}
+        self._rejected: dict[str, int] = {}
+        self._arrivals = itertools.count()
+
+    # ------------------------------------------------------------------
+    # Tenancy
+    # ------------------------------------------------------------------
+    def open_tenant(self, name: str,
+                    policy: TenantPolicy | None = None) -> TenantPolicy:
+        """Register a tenant; its policy is fixed for the tenant's lifetime."""
+        if name in self._policies:
+            raise ServingError(f"tenant {name!r} is already open")
+        policy = policy or TenantPolicy()
+        self._policies[name] = policy
+        self._queues[name] = deque()
+        self._running[name] = 0
+        self._in_flight_bytes[name] = 0
+        self._dispatched[name] = 0
+        self._rejected[name] = 0
+        return policy
+
+    def has_tenant(self, name: str) -> bool:
+        return name in self._policies
+
+    def policy(self, name: str) -> TenantPolicy:
+        try:
+            return self._policies[name]
+        except KeyError as exc:
+            raise UnknownTenantError(f"unknown tenant {name!r}") from exc
+
+    # ------------------------------------------------------------------
+    # Submission (backpressure happens here)
+    # ------------------------------------------------------------------
+    def submit(self, tenant: str, item: Any, *, estimated_bytes: int,
+               at: float = 0.0) -> None:
+        """Queue one submission or raise :class:`AdmissionError`.
+
+        Rejections are immediate and counted: a full queue (backpressure)
+        or an estimate that exceeds the tenant's whole memory budget (the
+        query could never be admitted).
+        """
+        policy = self.policy(tenant)
+        if (policy.memory_budget_bytes is not None
+                and estimated_bytes > policy.memory_budget_bytes):
+            self._rejected[tenant] += 1
+            raise AdmissionError(
+                tenant, f"query needs ~{estimated_bytes} bytes, over the "
+                        f"{policy.memory_budget_bytes} byte tenant budget")
+        queue = self._queues[tenant]
+        if len(queue) >= policy.max_queue_depth:
+            self._rejected[tenant] += 1
+            raise AdmissionError(
+                tenant, f"queue full at depth {len(queue)} (backpressure); "
+                        "retry after completions drain")
+        queue.append(_Queued(seq=next(self._arrivals), item=item,
+                             estimated_bytes=int(estimated_bytes),
+                             at=float(at)))
+
+    # ------------------------------------------------------------------
+    # Dispatch
+    # ------------------------------------------------------------------
+    def next_admissible(self, now: float) -> tuple[str, Any, int] | None:
+        """Pop the next dispatchable submission at server time ``now``.
+
+        Per tenant only the queue head is considered (FIFO within a
+        tenant); across tenants the winner minimizes ``(priority rank,
+        dispatch count, arrival)``.  Returns ``(tenant, item,
+        estimated_bytes)`` or ``None`` when nothing is dispatchable —
+        either everything is blocked (a completion will unblock it) or the
+        remaining heads carry future submit times.
+        """
+        best_key: tuple[int, int, int] | None = None
+        best_tenant: str | None = None
+        for tenant, queue in self._queues.items():
+            if not queue:
+                continue
+            head = queue[0]
+            if head.at > now:
+                continue
+            policy = self._policies[tenant]
+            if self._running[tenant] >= policy.max_concurrency:
+                continue
+            if (policy.memory_budget_bytes is not None
+                    and self._in_flight_bytes[tenant] + head.estimated_bytes
+                    > policy.memory_budget_bytes):
+                continue
+            key = (policy.rank, self._dispatched[tenant], head.seq)
+            if best_key is None or key < best_key:
+                best_key, best_tenant = key, tenant
+        if best_tenant is None:
+            return None
+        head = self._queues[best_tenant].popleft()
+        self._running[best_tenant] += 1
+        self._in_flight_bytes[best_tenant] += head.estimated_bytes
+        self._dispatched[best_tenant] += 1
+        return best_tenant, head.item, head.estimated_bytes
+
+    def on_finish(self, tenant: str, estimated_bytes: int) -> None:
+        """Release the concurrency slot and memory headroom of one query."""
+        self._running[tenant] -= 1
+        self._in_flight_bytes[tenant] -= int(estimated_bytes)
+
+    # ------------------------------------------------------------------
+    # Event-loop introspection
+    # ------------------------------------------------------------------
+    def has_queued(self) -> bool:
+        return any(self._queues.values())
+
+    def earliest_future_submit(self, now: float) -> float | None:
+        """Next queue-head submit time strictly after ``now`` (if any)."""
+        future = [queue[0].at for queue in self._queues.values()
+                  if queue and queue[0].at > now]
+        return min(future) if future else None
+
+    def queue_depth(self, tenant: str) -> int:
+        self.policy(tenant)
+        return len(self._queues[tenant])
+
+    def running(self, tenant: str) -> int:
+        self.policy(tenant)
+        return self._running[tenant]
+
+    def rejected(self, tenant: str) -> int:
+        self.policy(tenant)
+        return self._rejected[tenant]
+
+    @property
+    def tenants(self) -> tuple[str, ...]:
+        return tuple(self._policies)

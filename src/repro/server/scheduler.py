@@ -1,0 +1,76 @@
+"""Device-aware placement of admitted queries onto the simulated hardware.
+
+The scheduler turns one executed query's cost-model output into a
+server-time reservation on the topology's occupancy board
+(:class:`~repro.hardware.topology.OccupancyBoard`): every resource a query
+meaningfully used — compute devices *and* interconnect links — is reserved
+for exactly the busy seconds the per-query timeline charged to it, all
+starting at the query's common start time.  Two queries overlap in server
+time whenever their reservations touch disjoint resources (a CPU-only scan
+next to a PCIe-bound GPU join), and queries sharing a bottleneck resource
+serialize on precisely that resource.
+
+Which resources count as "meaningfully used" is the cost model's call: a
+resource is reserved when its busy time exceeds ``occupancy_threshold``
+(default 10%) of the query's makespan, so the microseconds of CPU control
+work inside a GPU-only query do not chain every GPU query behind a
+saturated CPU.  Compute devices of every kind the query's execution mode
+declares are reserved regardless — a hybrid query always reserves both the
+CPUs and the GPUs, however asymmetric its split was.
+"""
+
+from __future__ import annotations
+
+from ..engine.session import QueryResult
+from ..hardware.topology import Topology
+
+
+class DeviceScheduler:
+    """Maps executed queries to occupancy-board reservations."""
+
+    def __init__(self, topology: Topology, *,
+                 occupancy_threshold: float = 0.10) -> None:
+        if not 0.0 <= occupancy_threshold < 1.0:
+            raise ValueError("occupancy_threshold must be in [0, 1)")
+        self.topology = topology
+        self.occupancy_threshold = occupancy_threshold
+
+    # ------------------------------------------------------------------
+    def reservations(self, result: QueryResult) -> dict[str, float]:
+        """Resource name → busy seconds this query reserves.
+
+        Resources whose busy time clears the threshold are reserved for
+        that busy time; compute devices of every device kind the query's
+        mode uses are always included (hybrid queries reserve both kinds),
+        at their measured busy time.  A query that somehow charged nothing
+        falls back to reserving the first CPU for its whole makespan.
+        """
+        makespan = result.simulated_seconds
+        cutoff = makespan * self.occupancy_threshold
+        reservations = {name: busy
+                        for name, busy in result.device_busy.items()
+                        if busy > cutoff}
+        for device in self.topology.devices:
+            if ((device.is_cpu and result.mode.uses_cpus)
+                    or (device.is_gpu and result.mode.uses_gpus)):
+                reservations.setdefault(
+                    device.name, result.device_busy.get(device.name, 0.0))
+        if not reservations:
+            reservations = {self.topology.cpus()[0].name: makespan}
+        return reservations
+
+    def dispatch(self, result: QueryResult, *, earliest: float,
+                 label: str) -> tuple[float, float, tuple[str, ...]]:
+        """Reserve the query's resources; returns (start, finish, names).
+
+        The start is the earliest server time at which every reserved
+        resource is free (and not before ``earliest``); the query finishes
+        its own makespan later — per-query simulated seconds are never
+        altered by contention, only delayed.
+        """
+        reservations = self.reservations(result)
+        start = self.topology.occupancy.reserve(reservations,
+                                                earliest=earliest,
+                                                label=label)
+        return start, start + result.simulated_seconds, tuple(
+            sorted(reservations))

@@ -1,0 +1,406 @@
+"""The multi-tenant query server.
+
+:class:`QueryServer` is the serving facade over the single-session engine:
+many named tenants submit logical plans, an admission controller
+(:mod:`repro.server.admission`) queues and budgets them, and a
+device-aware scheduler (:mod:`repro.server.scheduler`) lays the admitted
+queries out on the topology's server-time occupancy board so queries using
+disjoint hardware overlap.  All tenant sessions share the server's catalog
+and its :class:`~repro.server.sharedcache.SharedQueryCache`, so one
+tenant's cold kernel evaluation warms every other tenant's structurally
+identical subplans.
+
+Two invariants carry over unchanged from the single-session engine:
+
+* **Per-query timing neutrality.**  A query's simulated seconds, device
+  busy times and link bytes are bit-identical to running it alone in a
+  private session — concurrency only adds *queue wait* and changes server
+  wall-clock, never a query's own simulated execution.
+* **Functional determinism.**  The serving loop is single-threaded and
+  event-driven over simulated server time, so interleaved multi-tenant
+  runs return exactly the tables a serial run returns, in a reproducible
+  order.
+
+:meth:`QueryServer.run` drains the queues and returns a
+:class:`ServerReport` with per-query and per-tenant accounting: queue
+wait, device busy seconds, cache hits, peak intermediate bytes, latency
+percentiles, and the throughput speedup over serial submission.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..engine.querycache import CacheCounters, QueryCacheStats
+from ..engine.session import HAPEEngine, QueryResult
+from ..errors import AdmissionError, ServingError, UnknownTenantError
+from ..hardware.topology import Topology, default_server
+from ..relational.logical import LogicalPlan
+from ..storage.catalog import Catalog
+from ..storage.table import Table
+from .admission import AdmissionController, TenantPolicy
+from .scheduler import DeviceScheduler
+from .sharedcache import SharedQueryCache
+
+
+@dataclass
+class QueryTicket:
+    """One submission's lifecycle: queued → completed (or rejected).
+
+    Times are simulated *server* seconds.  ``queue_wait`` spans submission
+    to execution start (admission blocking plus device contention);
+    ``latency`` additionally includes the query's own simulated makespan.
+    The functional answer is reachable through :attr:`result`.
+    """
+
+    ticket_id: int
+    tenant: str
+    label: str
+    plan: LogicalPlan
+    mode: str
+    submit_time: float
+    estimated_bytes: int
+    status: str = "queued"  # "queued" | "rejected" | "completed"
+    start_time: float = 0.0
+    finish_time: float = 0.0
+    reserved: tuple[str, ...] = ()
+    result: QueryResult | None = None
+    cache: CacheCounters = field(default_factory=CacheCounters)
+
+    @property
+    def queue_wait(self) -> float:
+        return self.start_time - self.submit_time
+
+    @property
+    def latency(self) -> float:
+        return self.finish_time - self.submit_time
+
+    @property
+    def simulated_seconds(self) -> float:
+        return self.result.simulated_seconds if self.result else 0.0
+
+
+@dataclass
+class TenantReport:
+    """Aggregated accounting for one tenant over one serving run."""
+
+    completed: int = 0
+    rejected: int = 0
+    queue_wait_seconds: float = 0.0
+    simulated_seconds: float = 0.0
+    #: Cost-model busy seconds summed per resource over the tenant's
+    #: completed queries (devices and links).
+    busy_seconds: dict[str, float] = field(default_factory=dict)
+    cache: CacheCounters = field(default_factory=CacheCounters)
+    peak_intermediate_bytes: int = 0
+    latencies: list[float] = field(default_factory=list)
+
+    def percentile_latency(self, q: float) -> float:
+        if not self.latencies:
+            return 0.0
+        return float(np.percentile(np.asarray(self.latencies), q))
+
+
+@dataclass
+class ServerReport:
+    """What one :meth:`QueryServer.run` drain produced."""
+
+    tickets: list[QueryTicket]
+    tenants: dict[str, TenantReport]
+    #: Server time at which the last query finished.
+    makespan: float
+    #: Sum of per-query simulated seconds — the serial-submission baseline
+    #: (each query's simulated time is bit-identical either way).
+    serial_seconds: float
+    cache: QueryCacheStats
+
+    @property
+    def completed(self) -> int:
+        return sum(1 for t in self.tickets if t.status == "completed")
+
+    @property
+    def rejected(self) -> int:
+        return sum(1 for t in self.tickets if t.status == "rejected")
+
+    @property
+    def throughput_qps(self) -> float:
+        if self.makespan <= 0:
+            return 0.0
+        return self.completed / self.makespan
+
+    @property
+    def speedup_vs_serial(self) -> float:
+        """Throughput gain over submitting the same queries serially."""
+        if self.makespan <= 0:
+            return 1.0
+        return self.serial_seconds / self.makespan
+
+    def percentile_latency(self, q: float) -> float:
+        latencies = [t.latency for t in self.tickets
+                     if t.status == "completed"]
+        if not latencies:
+            return 0.0
+        return float(np.percentile(np.asarray(latencies), q))
+
+    def describe(self) -> str:
+        lines = [
+            f"served {self.completed} queries ({self.rejected} rejected) "
+            f"in {self.makespan * 1e3:.3f} ms of server time",
+            f"  serial submission would take {self.serial_seconds * 1e3:.3f}"
+            f" ms -> {self.speedup_vs_serial:.2f}x throughput",
+            f"  latency p50={self.percentile_latency(50) * 1e3:.3f} ms "
+            f"p99={self.percentile_latency(99) * 1e3:.3f} ms",
+            f"  shared cache: {self.cache.describe()}",
+        ]
+        for name in sorted(self.tenants):
+            tenant = self.tenants[name]
+            lines.append(
+                f"  {name}: {tenant.completed} ok / {tenant.rejected} "
+                f"rejected, wait {tenant.queue_wait_seconds * 1e3:.3f} ms, "
+                f"cache {tenant.cache.hits}/{tenant.cache.lookups} hits, "
+                f"peak {tenant.peak_intermediate_bytes / 1e6:.1f} MB")
+        return "\n".join(lines)
+
+
+class QueryServer:
+    """Concurrent multi-tenant serving over one simulated server.
+
+    Construct it with (or let it build) a topology, register tables once —
+    the catalog is shared by every tenant — open sessions with per-tenant
+    policies, ``submit`` any number of plans, then ``run()`` to drain the
+    queues deterministically and collect the :class:`ServerReport`.
+
+    Parameters
+    ----------
+    topology:
+        The simulated hardware every tenant shares; defaults to the
+        paper's testbed.
+    cache_budget_bytes / cache_eviction:
+        Retention budget and eviction policy of the server-owned
+        :class:`SharedQueryCache`.  Tenant sessions cannot re-tune them.
+    occupancy_threshold:
+        The scheduler's negligible-work cutoff: resources busy for less
+        than this fraction of a query's makespan are not reserved.
+    """
+
+    def __init__(self, topology: Topology | None = None, *,
+                 cache_budget_bytes: int | None = None,
+                 cache_eviction: str = "lru",
+                 occupancy_threshold: float = 0.10) -> None:
+        self.topology = topology if topology is not None else default_server()
+        self.catalog = Catalog()
+        if cache_budget_bytes is None:
+            self.query_cache = SharedQueryCache(policy=cache_eviction)
+        else:
+            self.query_cache = SharedQueryCache(cache_budget_bytes,
+                                                policy=cache_eviction)
+        # The one invalidation subscription for the whole server: tenant
+        # sessions share this cache and must not subscribe it again.
+        self.catalog.subscribe(self.query_cache.invalidate_table)
+        self.admission = AdmissionController()
+        self.scheduler = DeviceScheduler(
+            self.topology, occupancy_threshold=occupancy_threshold)
+        self._sessions: dict[str, HAPEEngine] = {}
+        self._ticket_ids = itertools.count(1)
+        self._event_seq = itertools.count()
+        #: Tickets awaiting (or rejected since) the next ``run()`` drain.
+        self._epoch_tickets: list[QueryTicket] = []
+
+    # ------------------------------------------------------------------
+    # Shared catalog
+    # ------------------------------------------------------------------
+    def register_table(self, table: Table, *, replace: bool = False) -> None:
+        """Register a table for every tenant (shared catalog).
+
+        ``replace=True`` over an existing name invalidates exactly the
+        shared-cache entries that read the replaced table, for all
+        tenants at once — the single-session invalidation contract, at
+        server scope.
+        """
+        self.catalog.register(table, replace=replace)
+
+    def register_dataset(self, tables: dict[str, Table], *,
+                         replace: bool = False) -> None:
+        """Register a whole dataset (e.g. the TPC-H tables) at once."""
+        for table in tables.values():
+            self.register_table(table, replace=replace)
+
+    def drop_table(self, name: str) -> None:
+        """Drop a table; shared-cache entries that read it are discarded."""
+        self.catalog.drop(name)
+
+    # ------------------------------------------------------------------
+    # Tenancy
+    # ------------------------------------------------------------------
+    def open_session(self, tenant: str, *, priority: str = "normal",
+                     max_concurrency: int = 1, max_queue_depth: int = 32,
+                     memory_budget_bytes: int | None = None) -> HAPEEngine:
+        """Open a tenant session with its admission policy.
+
+        The session is a full :class:`HAPEEngine` sharing the server's
+        topology, catalog and cache; it can also be used directly for
+        immediate (non-queued) execution.
+        """
+        policy = TenantPolicy(priority=priority,
+                              max_concurrency=max_concurrency,
+                              max_queue_depth=max_queue_depth,
+                              memory_budget_bytes=memory_budget_bytes)
+        self.admission.open_tenant(tenant, policy)
+        session = HAPEEngine(self.topology, catalog=self.catalog,
+                             query_cache=self.query_cache)
+        self._sessions[tenant] = session
+        return session
+
+    def session(self, tenant: str) -> HAPEEngine:
+        try:
+            return self._sessions[tenant]
+        except KeyError as exc:
+            raise UnknownTenantError(f"unknown tenant {tenant!r}") from exc
+
+    @property
+    def tenants(self) -> tuple[str, ...]:
+        return tuple(self._sessions)
+
+    # ------------------------------------------------------------------
+    # Submission
+    # ------------------------------------------------------------------
+    def submit(self, tenant: str, plan: LogicalPlan,
+               mode: str = "hybrid", *, label: str | None = None,
+               at: float = 0.0) -> QueryTicket:
+        """Queue one query for ``tenant``; may raise :class:`AdmissionError`.
+
+        ``at`` is the simulated submission time (seconds of server time;
+        queries of one tenant dispatch FIFO).  A tenant without an open
+        session gets one with the default policy.  Rejected submissions
+        raise — and still appear in the next report, counted against the
+        tenant.
+        """
+        if not self.admission.has_tenant(tenant):
+            self.open_session(tenant)
+        ticket = QueryTicket(
+            ticket_id=next(self._ticket_ids), tenant=tenant,
+            label=label or f"q{len(self._epoch_tickets) + 1}", plan=plan,
+            mode=mode, submit_time=float(at),
+            estimated_bytes=self._estimate_bytes(plan))
+        self._epoch_tickets.append(ticket)
+        try:
+            self.admission.submit(tenant, ticket,
+                                  estimated_bytes=ticket.estimated_bytes,
+                                  at=ticket.submit_time)
+        except AdmissionError:
+            ticket.status = "rejected"
+            raise
+        return ticket
+
+    def _estimate_bytes(self, plan: LogicalPlan) -> int:
+        """Admission-time working-set estimate: bytes of referenced tables."""
+        return int(sum(self.catalog.stats(name).nbytes
+                       for name in plan.referenced_tables()
+                       if name in self.catalog))
+
+    # ------------------------------------------------------------------
+    # The serving loop
+    # ------------------------------------------------------------------
+    def run(self) -> ServerReport:
+        """Drain every queued submission; deterministic and single-threaded.
+
+        Server time starts at zero (a fresh occupancy epoch) and advances
+        event by event: admit everything dispatchable now, else jump to the
+        next completion or future submission.  Functional execution happens
+        at dispatch — one query at a time, against the shared cache — while
+        the scheduler lays the measured busy seconds onto the occupancy
+        board, which is where concurrency (and therefore throughput) lives.
+        """
+        self.topology.reset_occupancy()
+        now = 0.0
+        completions: list[tuple[float, int, QueryTicket]] = []
+        while True:
+            while True:
+                pick = self.admission.next_admissible(now)
+                if pick is None:
+                    break
+                tenant, ticket, _ = pick
+                self._dispatch(tenant, ticket, now, completions)
+            events = []
+            if completions:
+                events.append(completions[0][0])
+            future_submit = self.admission.earliest_future_submit(now)
+            if future_submit is not None:
+                events.append(future_submit)
+            if not events:
+                if self.admission.has_queued():  # pragma: no cover
+                    raise ServingError(
+                        "admission deadlock: queued work but no runnable "
+                        "query and no pending completion")
+                break
+            now = min(events)
+            while completions and completions[0][0] <= now:
+                _, _, done = heapq.heappop(completions)
+                self.admission.on_finish(done.tenant, done.estimated_bytes)
+        report = self._build_report()
+        self._epoch_tickets = []
+        return report
+
+    def _dispatch(self, tenant: str, ticket: QueryTicket, now: float,
+                  completions: list) -> None:
+        session = self.session(tenant)
+        # Per-ticket cache counters come from the shared cache's
+        # tenant-scoped attribution, not the executor's session-level
+        # delta: with many executors sharing one cache, only the traffic
+        # bracketed by ``tenant()`` belongs to this query.
+        before = self.query_cache.tenant_counters().get(tenant,
+                                                        CacheCounters())
+        with self.query_cache.tenant(tenant):
+            result = session.execute(ticket.plan, ticket.mode)
+        after = self.query_cache.tenant_counters()[tenant]
+        start, finish, reserved = self.scheduler.dispatch(
+            result, earliest=now,
+            label=f"{tenant}:{ticket.label}")
+        ticket.status = "completed"
+        ticket.start_time = start
+        ticket.finish_time = finish
+        ticket.reserved = reserved
+        ticket.result = result
+        ticket.cache = after.since(before)
+        heapq.heappush(completions, (finish, next(self._event_seq), ticket))
+
+    # ------------------------------------------------------------------
+    def _build_report(self) -> ServerReport:
+        tenants: dict[str, TenantReport] = {}
+        makespan = 0.0
+        serial = 0.0
+        for ticket in self._epoch_tickets:
+            report = tenants.setdefault(ticket.tenant, TenantReport())
+            if ticket.status == "rejected":
+                report.rejected += 1
+                continue
+            if ticket.status != "completed":  # pragma: no cover - drained
+                continue
+            assert ticket.result is not None
+            report.completed += 1
+            report.queue_wait_seconds += ticket.queue_wait
+            report.simulated_seconds += ticket.result.simulated_seconds
+            for resource, busy in ticket.result.device_busy.items():
+                if busy > 0:
+                    report.busy_seconds[resource] = (
+                        report.busy_seconds.get(resource, 0.0) + busy)
+            report.cache = CacheCounters(
+                hits=report.cache.hits + ticket.cache.hits,
+                misses=report.cache.misses + ticket.cache.misses,
+                evicted=report.cache.evicted + ticket.cache.evicted,
+                invalidated=(report.cache.invalidated
+                             + ticket.cache.invalidated))
+            report.peak_intermediate_bytes = max(
+                report.peak_intermediate_bytes,
+                ticket.result.peak_intermediate_bytes)
+            report.latencies.append(ticket.latency)
+            makespan = max(makespan, ticket.finish_time)
+            serial += ticket.result.simulated_seconds
+        return ServerReport(tickets=list(self._epoch_tickets),
+                            tenants=tenants, makespan=makespan,
+                            serial_seconds=serial,
+                            cache=self.query_cache.stats())

@@ -1,0 +1,81 @@
+"""The server-owned cross-session kernel cache.
+
+:class:`SharedQueryCache` is a :class:`~repro.engine.querycache.QueryCache`
+promoted to server scope: one instance is handed to every tenant session
+(via ``HAPEEngine(query_cache=...)``), so a kernel result computed for one
+tenant's query is served warm to every other tenant submitting a
+structurally identical subplan against the same catalog state.  The entire
+invalidation contract is inherited unchanged — keys are catalog-versioned
+and the *server's* shared catalog pushes ``register(replace=True)`` /
+``drop`` invalidations through exactly one subscription, wired by
+:class:`~repro.server.server.QueryServer`.
+
+What the shared cache adds is **tenant-tagged accounting**: the server
+brackets each query execution in :meth:`tenant`, and every hit/miss that
+occurs inside the bracket is attributed to that tenant, so a
+:class:`~repro.server.server.ServerReport` can show who is paying for cold
+kernels and who rides warm on a neighbor's working set.  Attribution never
+affects retention — budget, eviction policy and invalidation treat all
+tenants as one workload.
+
+The cache (like the whole serving loop) is single-threaded by design:
+concurrency exists in *simulated server time* on the occupancy board, so
+no locking is needed and runs stay deterministic.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Hashable, Iterator
+
+from ..engine.querycache import (
+    DEFAULT_CACHE_BUDGET_BYTES,
+    CacheCounters,
+    QueryCache,
+)
+
+
+class SharedQueryCache(QueryCache):
+    """A :class:`QueryCache` shared across tenant sessions, with
+    per-tenant hit/miss attribution."""
+
+    def __init__(self, budget_bytes: int | None = DEFAULT_CACHE_BUDGET_BYTES,
+                 *, policy: str = "lru") -> None:
+        super().__init__(budget_bytes, policy=policy)
+        self._tenant_counters: dict[str, CacheCounters] = {}
+        self._active_tenant: str | None = None
+
+    # ------------------------------------------------------------------
+    @contextmanager
+    def tenant(self, name: str) -> Iterator["SharedQueryCache"]:
+        """Attribute cache traffic inside the block to ``name``."""
+        previous = self._active_tenant
+        self._active_tenant = name
+        self._tenant_counters.setdefault(name, CacheCounters())
+        try:
+            yield self
+        finally:
+            self._active_tenant = previous
+
+    def get(self, key: Hashable) -> object | None:
+        value = super().get(key)
+        tenant = self._active_tenant
+        if tenant is not None:
+            counters = self._tenant_counters.setdefault(tenant,
+                                                        CacheCounters())
+            if value is None:
+                counters = CacheCounters(
+                    hits=counters.hits, misses=counters.misses + 1,
+                    evicted=counters.evicted,
+                    invalidated=counters.invalidated)
+            else:
+                counters = CacheCounters(
+                    hits=counters.hits + 1, misses=counters.misses,
+                    evicted=counters.evicted,
+                    invalidated=counters.invalidated)
+            self._tenant_counters[tenant] = counters
+        return value
+
+    def tenant_counters(self) -> dict[str, CacheCounters]:
+        """Per-tenant hit/miss attribution (a snapshot copy)."""
+        return dict(self._tenant_counters)

@@ -9,8 +9,11 @@ executed across the full engine configuration grid:
   × morsel_rows ∈ {1, 7, engine default}
   × pipeline_fusion ∈ {off, on}
 
-with results compared *cell-exact* (values and dtypes, after a canonical
-row sort) against :func:`repro.relational.reference.execute_logical`.
+with results compared *cell-exact and order-sensitive* (values, dtypes
+and row order — the engine's canonical join output order makes every plan
+row-for-row identical to the reference, so no canonical row sort is
+needed and float sums over join outputs compare bit-exact) against
+:func:`repro.relational.reference.execute_logical`.
 A slice of the seeds additionally runs with an aggressive optimizer
 configuration (``small_build_rows=2``) so the radix and co-processed join
 paths — normally reserved for large builds — are exercised on tiny and
@@ -66,21 +69,17 @@ AGGRESSIVE_EVERY = 3
 class _Case:
     """One fuzzed case: generated tables plus a logical plan over them.
 
-    ``inexact`` tracks columns whose values are not exactly summable in
-    float64 (the normal-distributed ``_v`` columns and anything computed
-    from them).  ``sum``/``avg`` aggregates draw only from the exact
-    columns: the engine's join output row order legitimately differs from
-    the reference's (the optimizer picks the build side), so only
-    order-independent accumulations can be compared cell-exact.  ``min``,
-    ``max`` and ``count`` are order-independent for any input and stay
-    unrestricted.
+    ``sum``/``avg`` aggregates draw from *every* numeric column — the
+    inexact normal-distributed ``_v`` columns included.  The engine's
+    canonical join output order guarantees aggregation inputs arrive in
+    exactly the reference's row order, so even order-sensitive float
+    accumulations compare bit-exact.
     """
 
     def __init__(self, seed: int):
         self.seed = seed
         self.rng = np.random.default_rng(SEED_BASE + seed)
         self.tables: list[Table] = []
-        self.inexact: set[str] = set()
         self.plan, self.schema = self._build_plan()
 
     # -- tables ---------------------------------------------------------
@@ -105,7 +104,6 @@ class _Case:
         }
         table = Table.from_arrays(f"tbl_{prefix}", arrays)
         self.tables.append(table)
-        self.inexact.add(num_cols[0])
         return table, int_cols, int_cols + num_cols
 
     # -- expressions ----------------------------------------------------
@@ -152,12 +150,8 @@ class _Case:
             elif choice == 1:
                 other = source[int(rng.integers(0, len(source)))]
                 projections[alias] = col(name) + col(other)
-                if other in self.inexact:
-                    self.inexact.add(alias)
             else:
                 projections[alias] = col(name) - lit(int(rng.integers(0, 7)))
-            if name in self.inexact:
-                self.inexact.add(alias)
         return projections
 
     # -- the plan -------------------------------------------------------
@@ -206,17 +200,12 @@ class _Case:
             else:
                 group_by = []        # grand aggregates, empty input included
             numeric = [name for name in schema]
-            summable = [name for name in schema if name not in self.inexact]
             specs = [agg_count(f"cnt{self.seed}")]
             for index in range(int(rng.integers(1, 4))):
                 alias = f"a{self.seed}_{index}"
                 func = (agg_sum, agg_avg, agg_min,
                         agg_max)[int(rng.integers(0, 4))]
-                pool = (summable if func in (agg_sum, agg_avg) and summable
-                        else numeric)
-                if func in (agg_sum, agg_avg) and not summable:
-                    func = agg_min
-                name = pool[int(rng.integers(0, len(pool)))]
+                name = numeric[int(rng.integers(0, len(numeric)))]
                 expr = (col(name) if rng.integers(0, 2)
                         else col(name) * lit(1.5))
                 specs.append(func(expr, alias))
@@ -246,27 +235,19 @@ def engine_grid():
     return grid
 
 
-def _canonical(table) -> dict[str, np.ndarray]:
-    """Row-order-insensitive canonical form: sort rows by every column.
-
-    The sort keys use the *sorted* column names so that engine and
-    reference results — whose column orders legitimately differ (build
-    side first vs. left side first) — canonicalize identically.
-    """
-    names = sorted(table.column_names)
-    arrays = {name: np.asarray(table.array(name)) for name in names}
-    if not names:
-        return arrays
-    num_rows = len(next(iter(arrays.values())))
-    if num_rows == 0:
-        return arrays
-    order = np.lexsort([arrays[name] for name in reversed(names)])
-    return {name: values[order] for name, values in arrays.items()}
-
-
 def _assert_cell_exact(result, reference, context: str) -> None:
-    got = _canonical(result)
-    expected = _canonical(reference)
+    """Cell-exact AND order-sensitive: no canonical row sort.
+
+    The engine's canonical join output order (documented in
+    ``docs/ARCHITECTURE.md``) makes every engine result row-for-row
+    identical to the reference executor's; only *column* order may differ
+    (build side first vs. left side first), so columns are matched by
+    name.
+    """
+    got = {name: np.asarray(result.array(name))
+           for name in result.column_names}
+    expected = {name: np.asarray(reference.array(name))
+                for name in reference.column_names}
     assert set(got) == set(expected), (
         f"{context}: column sets differ: {sorted(got)} vs {sorted(expected)}")
     for name in expected:
@@ -275,7 +256,8 @@ def _assert_cell_exact(result, reference, context: str) -> None:
             f"{got[name].dtype} vs {expected[name].dtype}")
         np.testing.assert_array_equal(
             got[name], expected[name],
-            err_msg=f"{context}: column {name!r} differs")
+            err_msg=f"{context}: column {name!r} differs (row order is "
+                    "part of the contract)")
 
 
 class TestZeroRowEdges:

@@ -92,10 +92,11 @@ def test_tpch_grid_is_bit_identical(tpch_dataset, baseline, fusion,
             # records above prove the timings never notice.
             assert warm.morsels_dispatched == 0, (
                 f"{context}: warm run dispatched morsels")
-            # The engine output also matches the reference oracle (order
-            # insensitively — join row order is the engine's choice).
+            # The engine output also matches the reference oracle row for
+            # row — the canonical join output order makes engine results
+            # order-identical to the reference, not just set-identical.
             assert cold.table.equals(references[query_name],
-                                     check_order=False), (
+                                     check_order=True), (
                 f"{context}: engine output diverged from the reference")
 
 

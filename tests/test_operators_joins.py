@@ -196,3 +196,116 @@ class TestProbePhaseCost:
     def test_requires_gpu(self, cpu):
         with pytest.raises(ValueError):
             probe_phase_cost(cpu, 1000, 128, variant="SM")
+
+
+class TestCanonicalJoinOutputOrder:
+    """Every join kernel emits the documented canonical row order.
+
+    ``output_order="probe"`` (the default) orders matches by probe
+    position with ties by ascending build position — exactly the order of
+    :func:`repro.relational.join_indices` — so the partitioned joins,
+    whose passes shuffle rows bucket-major, must agree row for row with
+    the non-partitioned hash join.  ``"build"`` is the mirrored order the
+    executor requests when the optimizer made the logical *right* input
+    the build side.
+    """
+
+    @staticmethod
+    def _inputs(seed: int = 11, rows: int = 400):
+        rng = np.random.default_rng(seed)
+        build = {"bk": rng.integers(0, 40, rows, dtype=np.int64),
+                 "bv": rng.normal(size=rows)}
+        probe = {"pk": rng.integers(0, 40, rows + 77, dtype=np.int64),
+                 "pv": rng.normal(size=rows + 77)}
+        return build, probe
+
+    def _expected(self, build, probe, *, order: str):
+        build_idx, probe_idx = join_indices([build["bk"]], [probe["pk"]])
+        if order == "build":
+            perm = np.lexsort((probe_idx, build_idx))
+            build_idx, probe_idx = build_idx[perm], probe_idx[perm]
+        return {"bk": build["bk"][build_idx], "bv": build["bv"][build_idx],
+                "pk": probe["pk"][probe_idx], "pv": probe["pv"][probe_idx]}
+
+    @pytest.mark.parametrize("order", ["probe", "build"])
+    @pytest.mark.parametrize("morsel_rows", [None, 37])
+    def test_hash_join_kernel_orders(self, order, morsel_rows):
+        from repro.operators import hash_join_kernel
+        build, probe = self._inputs()
+        columns, stats = hash_join_kernel(
+            build, probe, build_keys=["bk"], probe_keys=["pk"],
+            morsel_rows=morsel_rows, output_order=order)
+        expected = self._expected(build, probe, order=order)
+        for name in expected:
+            np.testing.assert_array_equal(columns[name], expected[name])
+        assert stats.output_nbytes == sum(v.nbytes
+                                          for v in expected.values())
+
+    @pytest.mark.parametrize("order", ["probe", "build"])
+    def test_partitioned_kernels_match_reference_order(self, cpu, gpu,
+                                                       order):
+        from repro.operators import (cpu_radix_join_kernel,
+                                     gpu_partitioned_join_kernel)
+        build, probe = self._inputs()
+        expected = self._expected(build, probe, order=order)
+        for kernel, spec in ((cpu_radix_join_kernel, cpu.spec),
+                             (gpu_partitioned_join_kernel, gpu.spec)):
+            columns, _ = kernel(build, probe, build_keys=["bk"],
+                                probe_keys=["pk"], spec=spec,
+                                output_order=order)
+            assert not any(name.startswith("__ord") for name in columns)
+            for name in expected:
+                np.testing.assert_array_equal(
+                    columns[name], expected[name],
+                    err_msg=f"{kernel.__name__} order={order} col={name}")
+
+    def test_coprocessed_join_matches_reference_order(self, topology):
+        build, probe = self._inputs(rows=3000)
+        expected = self._expected(build, probe, order="probe")
+        output = coprocessed_radix_join(
+            build, probe, topology, build_keys=["bk"], probe_keys=["pk"])
+        for name in expected:
+            np.testing.assert_array_equal(output.columns[name],
+                                          expected[name])
+
+    def test_order_never_changes_stats_or_costs(self, cpu):
+        from repro.operators import cpu_radix_join_kernel
+        build, probe = self._inputs()
+        stats = {}
+        for order in ("probe", "build", None):
+            _, stats[order] = cpu_radix_join_kernel(
+                build, probe, build_keys=["bk"], probe_keys=["pk"],
+                spec=cpu.spec, output_order=order)
+        assert stats["probe"] == stats["build"] == stats[None]
+
+    def test_invalid_output_order_rejected(self, cpu):
+        from repro.operators import cpu_radix_join_kernel, hash_join_kernel
+        build, probe = self._inputs(rows=8)
+        with pytest.raises(ValueError, match="output_order"):
+            hash_join_kernel(build, probe, build_keys=["bk"],
+                             probe_keys=["pk"], output_order="bucket")
+        with pytest.raises(ValueError, match="output_order"):
+            cpu_radix_join_kernel(build, probe, build_keys=["bk"],
+                                  probe_keys=["pk"], spec=cpu.spec,
+                                  output_order="bucket")
+
+    def test_optimizer_sets_swapped_flag(self, tpch_dataset):
+        """The smaller side builds; ``swapped`` marks a logical-right probe
+        ... i.e. a logical-left probe (build = logical right)."""
+        from repro.engine import HAPEEngine
+        from repro.hardware import default_server
+        from repro.relational import scan
+        from repro.relational.physical import PJoin
+
+        engine = HAPEEngine(default_server())
+        engine.register_dataset(tpch_dataset.tables)
+        small_left = scan("region").join(scan("nation"),
+                                         ["r_regionkey"], ["n_regionkey"])
+        big_left = scan("nation").join(scan("region"),
+                                       ["n_regionkey"], ["r_regionkey"])
+        for plan, swapped in ((small_left, False), (big_left, True)):
+            physical = engine.plan(plan, "cpu")
+            joins = [node for node in physical.walk()
+                     if isinstance(node, PJoin)]
+            assert len(joins) == 1
+            assert joins[0].swapped is swapped

@@ -1,0 +1,116 @@
+#!/usr/bin/env python
+"""Gate the serving benchmark's invariants (CI job ``serve``).
+
+Reads a benchmark results file (``BENCH_results.json`` layout), takes the
+latest run containing a ``serve`` suite and asserts:
+
+1. **Single-query bit-identity.**  The suite's own flag
+   (``single_query_simulated_identical``) is true: every query served
+   under 4-tenant concurrency reported simulated seconds bit-identical to
+   a cold solo session.
+2. **Identity against the cold suite.**  When the same run also contains
+   a ``tpch`` suite, the serve suite's per-query simulated seconds match
+   it bit for bit.
+3. **Identity against the recorded baseline.**  With ``--baseline`` (the
+   repository's committed ``BENCH_results.json``), the serve numbers are
+   compared against the latest recorded ``tpch`` entry benchmarked at the
+   same scale factor and seed — serving must never drift the simulated
+   cost model across PRs.
+4. **Throughput.**  The 4-tenant mixed CPU/GPU workload reaches at least
+   ``--min-speedup`` (default 2.0) times the serial-submission throughput.
+
+Exits non-zero with a diagnostic on any violation.
+
+Usage::
+
+    python tools/check_serve.py --bench /tmp/BENCH_ci.json \
+        --baseline BENCH_results.json --min-speedup 2.0
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+_REPO = Path(__file__).resolve().parent.parent
+
+
+def _latest_run_with(history: dict, suite: str) -> dict | None:
+    for run in reversed(history.get("runs", [])):
+        if suite in run.get("suites", {}):
+            return run
+    return None
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--bench", type=Path,
+                        default=_REPO / "BENCH_results.json",
+                        help="results file holding the serve run to check")
+    parser.add_argument("--baseline", type=Path, default=None,
+                        help="recorded results file whose latest tpch entry "
+                             "anchors the cross-PR identity check")
+    parser.add_argument("--min-speedup", type=float, default=2.0,
+                        help="required throughput speedup vs serial")
+    args = parser.parse_args(argv)
+
+    history = json.loads(args.bench.read_text())
+    run = _latest_run_with(history, "serve")
+    if run is None:
+        print(f"FAIL: no serve suite recorded in {args.bench}")
+        return 1
+    serve = run["suites"]["serve"]
+    failures: list[str] = []
+
+    if not serve.get("single_query_simulated_identical", False):
+        failures.append(
+            "served per-query simulated seconds diverged from a cold solo "
+            "session (single_query_simulated_identical is false)")
+
+    if "tpch" in run.get("suites", {}):
+        tpch = run["suites"]["tpch"]["simulated_seconds"]
+        for label, seconds in serve["simulated_seconds"].items():
+            if label in tpch and tpch[label] != seconds:
+                failures.append(
+                    f"{label}: serve={seconds!r} != tpch={tpch[label]!r} "
+                    "within the same run")
+
+    if args.baseline is not None and args.baseline.exists():
+        baseline_history = json.loads(args.baseline.read_text())
+        baseline_run = _latest_run_with(baseline_history, "tpch")
+        if baseline_run is not None:
+            same_shape = (
+                baseline_run["args"].get("sf") == run["args"].get("sf")
+                and baseline_run["args"].get("seed") == run["args"].get("seed"))
+            if same_shape:
+                recorded = baseline_run["suites"]["tpch"]["simulated_seconds"]
+                for label, seconds in serve["simulated_seconds"].items():
+                    if label in recorded and recorded[label] != seconds:
+                        failures.append(
+                            f"{label}: serve={seconds!r} != recorded "
+                            f"baseline={recorded[label]!r} "
+                            f"({baseline_run.get('git_revision')})")
+            else:
+                print("note: baseline tpch entry uses a different "
+                      "sf/seed; cross-PR identity check skipped")
+
+    speedup = serve.get("throughput_speedup_vs_serial", 0.0)
+    if speedup < args.min_speedup:
+        failures.append(
+            f"throughput speedup {speedup:.2f}x below the required "
+            f"{args.min_speedup:.2f}x")
+
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}")
+        return 1
+    print(f"serve suite ok: {serve['queries_served']} queries, "
+          f"{speedup:.2f}x serial throughput, single-query simulated "
+          "seconds bit-identical (run and recorded baseline)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
