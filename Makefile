@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test fuzz coverage examples bench bench-full serve-bench docs-check
+.PHONY: test fuzz coverage examples bench bench-full serve-bench chaos docs-check
 
 ## Tier-1 test suite (what CI runs).  Includes 200 seeded differential
 ## plan-fuzzing cases; `make fuzz` cranks the seed count.
@@ -56,3 +56,14 @@ serve-bench:
 		--sf 0.05 --repeat 1 --output /tmp/BENCH_serve_smoke.json
 	$(PYTHON) tools/check_serve.py --bench /tmp/BENCH_serve_smoke.json \
 		--baseline BENCH_results.json --min-speedup 2.0
+
+## Chaos smoke run (CI job "chaos"): the 4-tenant serve workload with a
+## mid-run dual-GPU outage into a scratch file, then gate the invariants —
+## every query completes cleanly, failed-over results bit-identical to
+## fault-free solo runs, and the empty-fault-plan pass bit-identical to
+## the recorded BENCH_results.json baseline.
+chaos:
+	$(PYTHON) benchmarks/run_benchmarks.py --suites chaos \
+		--sf 0.05 --repeat 1 --output /tmp/BENCH_chaos_smoke.json
+	$(PYTHON) tools/check_chaos.py --bench /tmp/BENCH_chaos_smoke.json \
+		--baseline BENCH_results.json

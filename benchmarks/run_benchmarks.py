@@ -44,6 +44,7 @@ if str(_REPO / "src") not in sys.path:
     sys.path.insert(0, str(_REPO / "src"))
 
 from repro.engine import HAPEEngine  # noqa: E402
+from repro.faults import FaultPlan  # noqa: E402
 from repro.hardware import default_server  # noqa: E402
 from repro.perf import JoinModels, TPCHModels  # noqa: E402
 from repro.server import QueryServer  # noqa: E402
@@ -303,6 +304,119 @@ def suite_serve(args: argparse.Namespace) -> dict:
     }
 
 
+def suite_chaos(args: argparse.Namespace) -> dict:
+    """Fault-injected multi-tenant serving benchmark (the ``chaos`` suite).
+
+    The same 4-tenant mix as the ``serve`` suite submits one pass of every
+    evaluated TPC-H query, but a deterministic :class:`FaultPlan` kills
+    *both* GPUs a quarter of the way through the fault-free makespan and
+    recovers them at 60%.  In-flight GPU work is killed (its simulated
+    seconds are wasted), queued GPU-mode queries walk the degradation
+    ladder to cpu mode, and queries dispatched after recovery run in their
+    requested mode again.
+
+    Reported and gated by ``tools/check_chaos.py``:
+
+    * **clean completion** — every ticket ends ``completed`` (no crashes,
+      no lost queries; the injected outage is survivable by design);
+    * **failover identity** — every failed-over query's result is
+      bit-identical (simulated seconds and table bytes) to a fault-free
+      solo run in its final mode;
+    * **empty-plan identity** — the same submission schedule served with
+      an empty ``FaultPlan`` reports per-query simulated seconds
+      bit-identical to the recorded ``serve``/``tpch`` baseline (fault
+      machinery must cost nothing when idle);
+    * throughput degradation and recovery (makespan ratio, wasted
+      simulated seconds, post-recovery GPU completions).
+    """
+    dataset = generate_tpch(args.sf, seed=args.seed)
+    queries = all_queries(dataset)
+
+    def one_served_run(fault_plan):
+        server = QueryServer(default_server(), fault_plan=fault_plan)
+        server.register_dataset(dataset.tables)
+        for tenant, _ in SERVE_TENANTS:
+            server.open_session(tenant)
+        for tenant, mode in SERVE_TENANTS:
+            for name, query in queries.items():
+                server.submit(tenant, query.plan, mode,
+                              label=f"{name}/{mode}")
+        return server.run()
+
+    # Fault-free reference pass: fixes the outage window and doubles as
+    # the empty-plan identity probe.
+    reference = one_served_run(FaultPlan())
+    kill_at = reference.makespan * 0.25
+    recover_at = reference.makespan * 0.60
+    chaos_plan = (FaultPlan()
+                  .fail_device("gpu0", at=kill_at, recover_at=recover_at)
+                  .fail_device("gpu1", at=kill_at, recover_at=recover_at))
+
+    wall, report = _best_wall(args.repeat, lambda: one_served_run(chaos_plan))
+
+    clean = all(ticket.status == "completed" for ticket in report.tickets)
+
+    # Every failed-over query must match a fault-free solo run in its
+    # final mode, bit for bit.
+    engine = HAPEEngine(default_server(), cache_budget_bytes=0)
+    engine.register_dataset(dataset.tables, replace=True)
+    identical = True
+    failed_over = 0
+    for ticket in report.tickets:
+        if ticket.status != "completed" or ticket.failovers == 0:
+            continue
+        failed_over += 1
+        name = ticket.label.split("/")[0]
+        solo = engine.execute(queries[name].plan, ticket.final_mode)
+        identical = identical and (
+            solo.simulated_seconds == ticket.result.simulated_seconds
+            and all(
+                solo.table.array(column).tobytes()
+                == ticket.result.table.array(column).tobytes()
+                for column in solo.table.column_names))
+
+    recovered_gpu = sum(
+        1 for ticket in report.tickets
+        if ticket.status == "completed" and ticket.final_mode == "gpu"
+        and ticket.start_time is not None and ticket.start_time >= recover_at)
+
+    empty_plan_sims: dict[str, float] = {}
+    empty_plan_consistent = True
+    for ticket in reference.tickets:
+        seconds = ticket.result.simulated_seconds
+        if ticket.label in empty_plan_sims:
+            empty_plan_consistent = (empty_plan_consistent
+                                     and empty_plan_sims[ticket.label]
+                                     == seconds)
+        empty_plan_sims[ticket.label] = seconds
+
+    return {
+        "scale_factor": args.sf,
+        "tenants": {tenant: mode for tenant, mode in SERVE_TENANTS},
+        "kill_at_seconds": kill_at,
+        "recover_at_seconds": recover_at,
+        "wall_clock_seconds": wall,
+        "queries_submitted": len(report.tickets),
+        "completed": report.completed,
+        "failed": report.failed,
+        "timed_out": report.timed_out,
+        "failovers": report.failovers,
+        "failed_over_queries": failed_over,
+        "retries": report.retries,
+        "wasted_simulated_seconds": report.wasted_seconds,
+        "fault_free_makespan_seconds": reference.makespan,
+        "chaos_makespan_seconds": report.makespan,
+        "makespan_degradation": report.makespan / reference.makespan,
+        "throughput_qps_fault_free": reference.throughput_qps,
+        "throughput_qps_chaos": report.throughput_qps,
+        "recovered_gpu_queries": recovered_gpu,
+        "clean_completion": clean,
+        "failover_results_identical": identical,
+        "empty_plan_consistent": empty_plan_consistent,
+        "empty_plan_simulated_seconds": empty_plan_sims,
+    }
+
+
 def suite_fig5(args: argparse.Namespace, join_models: JoinModels) -> dict:
     wall, series = _best_wall(args.repeat, join_models.figure5_series)
     return {
@@ -435,6 +549,7 @@ def main(argv: list[str] | None = None) -> int:
         "tpch_warm": lambda: suite_tpch_warm(args, topology),
         "mem": lambda: suite_mem(args, topology),
         "serve": lambda: suite_serve(args),
+        "chaos": lambda: suite_chaos(args),
     }
     suites = {}
     for name in args.suites:
@@ -463,6 +578,14 @@ def main(argv: list[str] | None = None) -> int:
                 f"p99 {record['latency_p99_seconds'] * 1e3:.3f}ms, "
                 f"single-query identical="
                 f"{record['single_query_simulated_identical']}")
+        if "makespan_degradation" in suites[name]:
+            record = suites[name]
+            summary += (
+                f", {record['completed']}/{record['queries_submitted']} "
+                f"completed, {record['failovers']} failovers, makespan "
+                f"{record['makespan_degradation']:.2f}x fault-free, "
+                f"clean={record['clean_completion']}, failover identical="
+                f"{record['failover_results_identical']}")
         print(f"  {summary}")
 
     run_record = {

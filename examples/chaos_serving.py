@@ -1,0 +1,191 @@
+#!/usr/bin/env python
+"""Fault-tolerant serving tour: outages, failover, retries, deadlines.
+
+Walks the fault subsystem end to end (see ``docs/FAULTS.md``):
+
+1. a mid-epoch dual-GPU outage with recovery: in-flight GPU work is
+   killed and wasted, queued GPU-mode queries walk the degradation
+   ladder ``gpu -> hybrid -> cpu``, post-recovery queries use the GPUs
+   again — and every failed-over result stays bit-identical to a
+   fault-free run in its final mode;
+2. the paper's Q9 failure mode: a join build that overflows GPU memory
+   raises ``OutOfDeviceMemoryError`` and the server degrades the query
+   to a surviving mode;
+3. transient faults retried under a ``RetryPolicy`` with simulated
+   backoff (charged as queue wait), and a retry budget that fails
+   cleanly when exhausted;
+4. per-query deadlines cutting a too-slow query into ``timed_out``;
+5. the circuit breaker benching a repeatedly-failing device and probing
+   it back after a cooldown;
+6. the empty-plan identity: fault machinery costs nothing when idle.
+
+Run with ``PYTHONPATH=src python examples/chaos_serving.py`` (or
+``make examples``).
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+_REPO = Path(__file__).resolve().parent.parent
+if str(_REPO / "src") not in sys.path:
+    sys.path.insert(0, str(_REPO / "src"))
+
+from repro.engine import HAPEEngine  # noqa: E402
+from repro.errors import OutOfDeviceMemoryError  # noqa: E402
+from repro.faults import FaultPlan  # noqa: E402
+from repro.hardware import default_server, gtx_1080  # noqa: E402
+from repro.relational import agg_sum, col, lit, scan  # noqa: E402
+from repro.server import QueryServer, RetryPolicy  # noqa: E402
+from repro.storage import generate_tpch  # noqa: E402
+from repro.workloads import all_queries  # noqa: E402
+
+SCALE_FACTOR = 0.01
+SEED = 2019
+
+
+def main() -> int:
+    dataset = generate_tpch(SCALE_FACTOR, seed=SEED)
+    queries = all_queries(dataset)
+
+    # ------------------------------------------------------------------
+    # 1. A mid-epoch dual-GPU outage with recovery.
+    # ------------------------------------------------------------------
+    # Fault-free pass first, to place the outage window inside the run.
+    reference = QueryServer(default_server())
+    reference.register_dataset(dataset.tables)
+    for name, query in queries.items():
+        reference.submit("gpu-tenant", query.plan, "gpu",
+                         label=f"{name}/gpu")
+    fault_free = reference.run()
+    kill_at = fault_free.makespan * 0.25
+    recover_at = fault_free.makespan * 2.0
+
+    plan = (FaultPlan()
+            .fail_device("gpu0", at=kill_at, recover_at=recover_at)
+            .fail_device("gpu1", at=kill_at, recover_at=recover_at))
+    server = QueryServer(default_server(), fault_plan=plan)
+    server.register_dataset(dataset.tables)
+    for name, query in queries.items():
+        server.submit("gpu-tenant", query.plan, "gpu", label=f"{name}/gpu")
+    report = server.run()
+    print("== dual-GPU outage mid-epoch ==")
+    print(report.describe())
+    assert all(t.status == "completed" for t in report.tickets)
+    assert report.failovers > 0 and report.wasted_seconds > 0.0
+
+    solo = HAPEEngine(default_server(), cache_budget_bytes=0)
+    solo.register_dataset(dataset.tables)
+    for ticket in report.tickets:
+        if ticket.failovers == 0:
+            continue
+        name = ticket.label.split("/")[0]
+        check = solo.execute(queries[name].plan, ticket.final_mode)
+        assert ticket.result.simulated_seconds == check.simulated_seconds
+    print(f"\n{report.failovers} failovers, "
+          f"{report.wasted_seconds * 1e3:.3f}ms simulated work wasted, "
+          "every survivor bit-identical to a fault-free run in its "
+          "final mode")
+
+    # ------------------------------------------------------------------
+    # 2. The paper's Q9 failure mode: GPU overflow degrades the query.
+    # ------------------------------------------------------------------
+    overflow = (scan("orders")
+                .filter(col("o_orderkey") >= lit(0))
+                .filter(col("o_custkey") >= lit(0))
+                .join(scan("lineitem", ["l_orderkey", "l_extendedprice"]),
+                      ["o_orderkey"], ["l_orderkey"])
+                .aggregate([], [agg_sum(col("l_extendedprice"), "s")]))
+    tiny_gpu = gtx_1080().with_memory_capacity(96 * 1024)
+    probe = HAPEEngine(default_server(gpu_spec=tiny_gpu))
+    probe.register_dataset(dataset.tables)
+    try:
+        probe.execute(overflow, "hybrid")
+    except OutOfDeviceMemoryError as exc:
+        print(f"\nQ9 failure mode on a 96KB GPU: {exc}")
+    q9_server = QueryServer(default_server(gpu_spec=tiny_gpu))
+    q9_server.register_dataset(dataset.tables)
+    ticket = q9_server.submit("bi", overflow, "hybrid", label="q9ish")
+    q9_server.run()
+    assert ticket.status == "completed" and ticket.final_mode == "cpu"
+    print(f"served anyway: {ticket.failovers} failover, completed in "
+          f"{ticket.final_mode!r} mode")
+
+    # ------------------------------------------------------------------
+    # 3. Transient faults: retries with simulated backoff.
+    # ------------------------------------------------------------------
+    flaky_plan = FaultPlan().fail_attempt("Q1/cpu", attempt=1, fraction=0.5)
+    retry_server = QueryServer(
+        default_server(), fault_plan=flaky_plan,
+        retry_policy=RetryPolicy(max_attempts=3, backoff_seconds=0.05))
+    retry_server.register_dataset(dataset.tables)
+    flaky = retry_server.submit("bi", queries["Q1"].plan, "cpu",
+                                label="Q1/cpu")
+    retry_server.run()
+    assert flaky.status == "completed" and flaky.retries == 1
+    print(f"\ntransient fault: attempt 1 died half-way "
+          f"({flaky.wasted_seconds * 1e3:.3f}ms wasted), retried after "
+          f"{flaky.queue_wait * 1e3:.1f}ms backoff, completed")
+
+    doomed_plan = FaultPlan().transient_errors(rate=1.0, labels=("Q6/cpu",))
+    doomed_server = QueryServer(
+        default_server(), fault_plan=doomed_plan,
+        retry_policy=RetryPolicy(max_attempts=2, backoff_seconds=0.01))
+    doomed_server.register_dataset(dataset.tables)
+    doomed = doomed_server.submit("bi", queries["Q6"].plan, "cpu",
+                                  label="Q6/cpu")
+    doomed_report = doomed_server.run()
+    assert doomed.status == "failed" and doomed_report.failed == 1
+    print(f"retry budget exhausted cleanly: {doomed.error}")
+
+    # ------------------------------------------------------------------
+    # 4. Deadlines bound queueing and execution together.
+    # ------------------------------------------------------------------
+    deadline_server = QueryServer(default_server())
+    deadline_server.register_dataset(dataset.tables)
+    q5_sim = solo.execute(queries["Q5"].plan, "cpu").simulated_seconds
+    hurried = deadline_server.submit("bi", queries["Q5"].plan, "cpu",
+                                     label="hurried", deadline=q5_sim / 2)
+    deadline_server.run()
+    assert hurried.status == "timed_out"
+    print(f"\ndeadline: {hurried.error}")
+
+    # ------------------------------------------------------------------
+    # 5. The circuit breaker benches a repeatedly-failing GPU.
+    # ------------------------------------------------------------------
+    breaker_plan = FaultPlan().fail_attempt("victim", attempt=1,
+                                            device="gpu0", fraction=0.5)
+    breaker_server = QueryServer(default_server(), fault_plan=breaker_plan,
+                                 breaker_threshold=1,
+                                 breaker_cooldown_seconds=0.5)
+    breaker_server.register_dataset(dataset.tables)
+    victim = breaker_server.submit("bi", queries["Q1"].plan, "gpu",
+                                   label="victim")
+    healed = breaker_server.submit("bi", queries["Q1"].plan, "gpu",
+                                   label="healed", at=2.0)
+    breaker_server.run()
+    assert victim.status == "completed" and victim.failovers == 1
+    assert healed.status == "completed" and healed.final_mode == "gpu"
+    print("\nbreaker: gpu0 benched after the fault, probed back after the "
+          f"cooldown; the t=2.0s query ran gpu-mode in "
+          f"{healed.result.simulated_seconds * 1e3:.3f}ms")
+
+    # ------------------------------------------------------------------
+    # 6. Empty-plan identity: fault machinery costs nothing when idle.
+    # ------------------------------------------------------------------
+    idle = QueryServer(default_server(), fault_plan=FaultPlan())
+    idle.register_dataset(dataset.tables)
+    for name, query in queries.items():
+        idle.submit("bi", query.plan, "gpu", label=f"{name}/gpu")
+    idle_report = idle.run()
+    assert idle_report.makespan == fault_free.makespan
+    for left, right in zip(idle_report.tickets, fault_free.tickets):
+        assert left.result.simulated_seconds == right.result.simulated_seconds
+    print("\nempty FaultPlan: served epoch bit-identical to the fault-free "
+          "serving layer")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

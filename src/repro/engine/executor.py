@@ -299,7 +299,8 @@ class _PassthroughStage:
                     for name in self.node.consumers]
         if isinstance(self.node, DeviceCrossing):
             return [device for device in executor.topology.devices
-                    if device.kind is self.node.target_kind]
+                    if device.kind is self.node.target_kind
+                    and device.is_available]
         return devices
 
     def begin(self, executor: "Executor") -> None:
@@ -828,7 +829,7 @@ class Executor:
             devices = child.devices
         # Routing decisions are packet-metadata only; charge a token
         # control cost on the CPU that hosts the router.
-        cpu = self.topology.cpus()[0]
+        cpu = self._anchor_cpu()
         record = cpu.charge(1e-6 * max(len(devices), 1),
                             earliest=child.ready, label="router")
         return replace(child, ready=record.end, devices=devices)
@@ -858,10 +859,11 @@ class Executor:
     def _charge_crossing(self, node: DeviceCrossing,
                          child: _StageMeta) -> _StageMeta:
         targets = [device for device in self.topology.devices
-                   if device.kind is node.target_kind]
+                   if device.kind is node.target_kind and device.is_available]
         if not targets:
             raise ExecutionError(
-                f"no devices of kind {node.target_kind.value} in the topology")
+                f"no available devices of kind {node.target_kind.value} "
+                "in the topology")
         ready = child.ready
         for device in targets:
             record = device.charge(device.cost.kernel_launch() or 1e-6,
@@ -929,8 +931,20 @@ class Executor:
         """
         return (spec.kind.value, max_fanout(spec), target_partition_bytes(spec))
 
+    def _anchor_cpu(self) -> Device:
+        """The CPU that hosts routers, final merges and sorts.
+
+        The first *available* CPU socket; with every device healthy this
+        is exactly ``cpus()[0]``, preserving bit-identical placement and
+        timing for fault-free runs.  The structural fallback keeps
+        non-serving callers working even if someone fails every CPU by
+        hand (the optimizer rejects such plans before execution).
+        """
+        available = self.topology.available_cpus()
+        return available[0] if available else self.topology.cpus()[0]
+
     def _default_devices(self) -> list[Device]:
-        return [self.topology.cpus()[0]]
+        return [self._anchor_cpu()]
 
     def _device_weight(self, device: Device, data_location: str) -> float:
         """Relative throughput of a device for CPU-resident input data."""
@@ -1085,8 +1099,8 @@ class Executor:
             return NodeResult(columns=columns, ready=ready,
                               location=child.location, devices=devices,
                               kernel_tag=child.kernel_tag)
-        # Final (or complete) aggregation runs on cpu0 over the partials.
-        cpu = self.topology.cpus()[0]
+        # Final (or complete) aggregation runs on the anchor CPU.
+        cpu = self._anchor_cpu()
         if node.phase == "final":
             columns, merged_nbytes = self._memoized_kernel(
                 node, lambda: merge_partials_kernel(
@@ -1111,7 +1125,7 @@ class Executor:
 
     def _execute_sort(self, node: PSort) -> NodeResult:
         child = self._execute_chain(node.child)
-        cpu = self.topology.cpus()[0]
+        cpu = self._anchor_cpu()
         order = np.lexsort([np.asarray(child.columns[key])
                             for key in reversed(node.keys)])
         columns = {name: np.asarray(values)[order]
@@ -1147,6 +1161,7 @@ class Executor:
 
         if node.algorithm is JoinAlgorithm.RADIX_CPU:
             cpus = [device for device in devices if device.is_cpu] \
+                or list(self.topology.available_cpus()) \
                 or list(self.topology.cpus())
             tuning = self._partition_tuning(cpus[0].spec)
             tag = build.kernel_tag + probe.kernel_tag + (("radix", tuning),)
@@ -1171,6 +1186,7 @@ class Executor:
 
         if node.algorithm is JoinAlgorithm.RADIX_GPU:
             gpus = [device for device in devices if device.is_gpu] \
+                or list(self.topology.available_gpus()) \
                 or list(self.topology.gpus())
             ready_build = self._broadcast_build(build, gpus, earliest)
             if self.options.enforce_gpu_memory:
@@ -1249,8 +1265,8 @@ class Executor:
 
     def _execute_coprocessed_join(self, node: PJoin, build: NodeResult,
                                   probe: NodeResult, earliest: float) -> NodeResult:
-        cpu = self.topology.cpus()[0]
-        gpus = list(self.topology.gpus())
+        cpu = self._anchor_cpu()
+        gpus = list(self.topology.available_gpus())
         if not gpus:
             raise ExecutionError("co-processed join requires GPUs")
         result = coprocessed_radix_join(

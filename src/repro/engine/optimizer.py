@@ -15,7 +15,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from ..errors import OptimizerError, PlanError
+from ..errors import DeviceUnavailableError, OptimizerError, PlanError
 from ..hardware.specs import DeviceKind
 from ..hardware.topology import Topology
 from ..operators.hashjoin import HASH_ENTRY_BYTES
@@ -74,15 +74,30 @@ class Optimizer:
             raise OptimizerError(
                 f"mode {mode.value!r} requires GPUs but the topology has none"
             )
+        # Structural absence (no GPUs built into the server) stays an
+        # OptimizerError; *health-based* absence — every device of a
+        # required kind currently FAILED — is a fault the serving layer
+        # can fail over from, so it gets the fault taxonomy.
+        if mode.uses_gpus and not self.topology.available_gpus():
+            raise DeviceUnavailableError(
+                "gpu", f"mode {mode.value!r} requires a healthy GPU")
+        if mode.uses_cpus and not self.topology.available_cpus():
+            raise DeviceUnavailableError(
+                "cpu", f"mode {mode.value!r} requires a healthy CPU")
         return self._convert(plan, mode)
 
     # ------------------------------------------------------------------
     def _devices_for(self, mode: ExecutionMode) -> list[str]:
+        # Only healthy/degraded devices participate: a failed GPU must not
+        # appear in router consumer lists or crossing targets, so plans
+        # built under partial failure use the surviving parallelism.
         devices: list[str] = []
         if mode.uses_cpus:
-            devices.extend(device.name for device in self.topology.cpus())
+            devices.extend(
+                device.name for device in self.topology.available_cpus())
         if mode.uses_gpus:
-            devices.extend(device.name for device in self.topology.gpus())
+            devices.extend(
+                device.name for device in self.topology.available_gpus())
         return devices
 
     def _worker_traits(self, mode: ExecutionMode, locality: str) -> Traits:
@@ -138,7 +153,7 @@ class Optimizer:
                                     policy=self.options.routing_policy,
                                     consumers=consumers)
         if mode is ExecutionMode.GPU_ONLY:
-            gpu_names = [d.name for d in self.topology.gpus()]
+            gpu_names = [d.name for d in self.topology.available_gpus()]
             moved = MemMove(traits=router_traits.with_locality("gpu"),
                             child=routed, destination=",".join(gpu_names))
             routed = DeviceCrossing(
@@ -175,12 +190,12 @@ class Optimizer:
                                mode: ExecutionMode) -> JoinAlgorithm:
         build_bytes = build_rows * HASH_ENTRY_BYTES
         if mode is ExecutionMode.CPU_ONLY:
-            cpu = self.topology.cpus()[0]
+            cpu = self.topology.available_cpus()[0]
             if (build_rows > self.options.small_build_rows
                     or build_bytes > cpu.spec.last_level_cache.capacity_bytes):
                 return JoinAlgorithm.RADIX_CPU
             return JoinAlgorithm.NON_PARTITIONED
-        gpus = self.topology.gpus()
+        gpus = self.topology.available_gpus()
         gpu_capacity = min(gpu.spec.memory_capacity_bytes for gpu in gpus)
         # Leave room for the probe stream, partitions and the result buffers.
         fits_in_gpu = build_bytes * 4 < gpu_capacity

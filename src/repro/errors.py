@@ -83,6 +83,71 @@ class OptimizerError(ReproError):
     """Raised when the heterogeneity-aware optimizer cannot place a plan."""
 
 
+class FaultError(ReproError):
+    """Base class for injected or detected runtime faults.
+
+    The paper's evaluation is full of *real* failure modes — DBMS G and
+    GPU-only Proteus cannot run TPC-H Q9 because intermediate hash tables
+    exceed the aggregate GPU memory (Section 6.4), and heterogeneous
+    servers lose accelerators, links and memory capacity in production.
+    The fault taxonomy below lets the serving layer tell failures apart:
+    device-scoped faults walk the mode-degradation ladder
+    (gpu → hybrid → cpu), transient faults are retried, and both are
+    bounded by deadlines.
+    """
+
+
+class DeviceUnavailableError(FaultError):
+    """Raised when an execution mode needs a device kind with no available
+    (non-failed) device — e.g. a GPU-mode query after every GPU failed.
+
+    This is the serving-time analogue of the paper's "DBMS G was unable to
+    run" rows: instead of silently producing numbers on hardware that is
+    gone, the engine refuses and lets the server fail over to a mode the
+    surviving devices can run.
+    """
+
+    def __init__(self, kind: str, detail: str = "") -> None:
+        self.kind = kind
+        message = f"no available {kind} device"
+        if detail:
+            message = f"{message}: {detail}"
+        super().__init__(message)
+
+
+class QueryTimeoutError(FaultError):
+    """Raised (and recorded on tickets) when a query misses its deadline.
+
+    Deadlines bound how long failover and retries may take: a query that
+    would finish after ``submit_time + deadline`` is cut off at the
+    deadline and its partial work is accounted as wasted simulated time.
+    """
+
+    def __init__(self, label: str, deadline: float) -> None:
+        self.label = label
+        self.deadline = float(deadline)
+        super().__init__(
+            f"query {label!r} exceeded its {deadline:.6f}s deadline")
+
+
+class RetryExhaustedError(FaultError):
+    """Raised when a query failed on every attempt its retry policy allows.
+
+    Carries the last underlying error so reports can say *why* the final
+    attempt failed, mirroring how the paper reports per-system failures
+    instead of dropping queries silently.
+    """
+
+    def __init__(self, label: str, attempts: int,
+                 last_error: Exception | None = None) -> None:
+        self.label = label
+        self.attempts = int(attempts)
+        self.last_error = last_error
+        detail = f": {last_error}" if last_error is not None else ""
+        super().__init__(
+            f"query {label!r} failed after {attempts} attempt(s){detail}")
+
+
 class ServingError(ReproError):
     """Errors raised by the multi-tenant serving subsystem."""
 

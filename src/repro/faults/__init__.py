@@ -1,0 +1,35 @@
+"""Deterministic fault injection for the simulated serving layer.
+
+The paper's central claim is adaptivity: execution should use "all the
+available heterogeneous hardware" (Section 1) — which implies behaving
+sensibly when some of that hardware stops being available.  This package
+provides the chaos half of that contract:
+
+* :class:`FaultPlan` — a seeded, declarative schedule of faults (device
+  failures with optional recovery, link bandwidth degradation, device
+  memory shrinkage, and per-attempt transient errors) expressed in
+  *server time*, the same clock the :class:`~repro.server.QueryServer`
+  drains.
+* :class:`FaultInjector` — replays a plan against a live
+  :class:`~repro.hardware.Topology`, telling the server when the world
+  changes and which in-flight work a device failure killed.
+* :class:`CircuitBreaker` — the detection side: devices that fail N
+  consecutive attempts are taken out of rotation and probed for recovery
+  after a cooldown, so one flaky GPU cannot absorb every retry budget.
+
+Everything is deterministic: the same plan, seed and submission sequence
+produce bit-identical serving reports, which is what lets CI gate chaos
+runs the same way it gates performance numbers.
+"""
+
+from .breaker import CircuitBreaker
+from .injector import FaultInjector, InjectedFault
+from .plan import FaultEvent, FaultPlan
+
+__all__ = [
+    "CircuitBreaker",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultPlan",
+    "InjectedFault",
+]

@@ -1,0 +1,159 @@
+"""Replaying a :class:`FaultPlan` against a live topology.
+
+The injector is driven by the server's event loop: ``next_event_time``
+feeds the loop's time-step computation, ``advance`` applies every fault
+whose time has come (returning the device failures so the server can kill
+in-flight attempts), and ``attempt_fault`` is consulted once per execution
+attempt for transient/targeted faults.  All randomness comes from one
+``numpy`` generator seeded by the plan, consumed in dispatch order — the
+same workload replayed against the same plan fails in exactly the same
+places.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..hardware import Topology
+from .plan import FaultPlan
+
+
+@dataclass(frozen=True)
+class InjectedFault:
+    """The injector's verdict for one execution attempt.
+
+    ``kind`` is ``"transient"`` (retry in the same mode) or ``"device"``
+    (device-scoped: the server walks the failover ladder).  ``fraction``
+    is how far into the attempt the failure struck — the fraction of the
+    attempt's simulated seconds charged as wasted work.
+    """
+
+    kind: str
+    fraction: float
+    message: str
+    device: str | None = None
+
+
+class FaultInjector:
+    """Applies a :class:`FaultPlan` to a topology at server-time boundaries."""
+
+    def __init__(self, plan: FaultPlan, topology: Topology) -> None:
+        self.plan = plan
+        self.topology = topology
+        self._rng = np.random.default_rng(plan.seed)
+        # Expand events into (time, seq, op) tuples; seq breaks ties so
+        # that application order is deterministic.
+        ops: list[tuple[float, int, tuple]] = []
+        seq = 0
+        for event in plan.events:
+            if event.kind == "device_failure":
+                apply_op = ("fail_device", event.target)
+                undo_op = ("restore_device", event.target)
+            elif event.kind == "link_degradation":
+                apply_op = ("degrade_link", event.target, event.factor)
+                undo_op = ("restore_link", event.target)
+            else:  # memory_shrink
+                apply_op = ("shrink_memory", event.target, event.factor)
+                undo_op = ("restore_memory", event.target)
+            ops.append((event.at, seq, apply_op))
+            seq += 1
+            if event.until is not None:
+                ops.append((event.until, seq, undo_op))
+                seq += 1
+        self._ops = sorted(ops)
+        self._cursor = 0
+        # Tracks what must be undone at epoch end (faults are epoch-scoped;
+        # manual topology mutations made outside the injector persist).
+        self._failed_devices: set[str] = set()
+        self._degraded_links: set[str] = set()
+        self._shrunk_devices: set[str] = set()
+
+    # Timeline -----------------------------------------------------------
+    def next_event_time(self, now: float) -> float | None:
+        """Earliest scheduled fault strictly after ``now`` (None if done)."""
+        for at, _seq, _op in self._ops[self._cursor:]:
+            if at > now:
+                return at
+        return None
+
+    def advance(self, now: float) -> list[str]:
+        """Apply every op due at or before ``now``.
+
+        Returns the names of devices that *newly failed* during this
+        advance so the server can kill attempts running on them.
+        """
+        newly_failed: list[str] = []
+        while self._cursor < len(self._ops):
+            at, _seq, op = self._ops[self._cursor]
+            if at > now:
+                break
+            self._apply(op, newly_failed)
+            self._cursor += 1
+        return newly_failed
+
+    def _apply(self, op: tuple, newly_failed: list[str]) -> None:
+        kind = op[0]
+        if kind == "fail_device":
+            if self.topology.device(op[1]).is_available:
+                newly_failed.append(op[1])
+            self.topology.fail_device(op[1])
+            self._failed_devices.add(op[1])
+        elif kind == "restore_device":
+            self.topology.restore_device(op[1])
+            self._failed_devices.discard(op[1])
+        elif kind == "degrade_link":
+            self.topology.degrade_link(op[1], op[2])
+            self._degraded_links.add(op[1])
+        elif kind == "restore_link":
+            self.topology.restore_link(op[1])
+            self._degraded_links.discard(op[1])
+        elif kind == "shrink_memory":
+            self.topology.shrink_device_memory(op[1], op[2])
+            self._shrunk_devices.add(op[1])
+        elif kind == "restore_memory":
+            self.topology.restore_device_memory(op[1])
+            self._shrunk_devices.discard(op[1])
+
+    # Per-attempt faults -------------------------------------------------
+    def attempt_fault(self, tenant: str, label: str,
+                      attempt: int) -> InjectedFault | None:
+        """Fault verdict for one execution attempt (None = clean run).
+
+        Targeted faults are checked first (exact, draw-free); transient
+        specs then consume one RNG draw each for every *eligible* attempt,
+        so ineligible attempts never perturb the random stream.
+        """
+        for spec in self.plan.targeted:
+            if spec.label == label and spec.attempt == attempt:
+                kind = "device" if spec.device is not None else "transient"
+                return InjectedFault(kind=kind, fraction=spec.fraction,
+                                     message=spec.message, device=spec.device)
+        for spec in self.plan.transients:
+            if not spec.matches(tenant, label):
+                continue
+            if self._rng.random() < spec.rate:
+                return InjectedFault(
+                    kind="transient", fraction=spec.fraction,
+                    message=(f"transient fault (seed={self.plan.seed}) on "
+                             f"{label!r} attempt {attempt}"))
+        return None
+
+    # Epoch teardown -----------------------------------------------------
+    def restore_all(self) -> None:
+        """Undo every fault this injector applied (end of epoch).
+
+        The serving contract is that injected faults are epoch-scoped:
+        after ``run()`` the topology is as healthy as the injector found
+        it, even when the plan scheduled no recovery.
+        """
+        for name in sorted(self._failed_devices):
+            self.topology.restore_device(name)
+        for name in sorted(self._degraded_links):
+            self.topology.restore_link(name)
+        for name in sorted(self._shrunk_devices):
+            self.topology.restore_device_memory(name)
+        self._failed_devices.clear()
+        self._degraded_links.clear()
+        self._shrunk_devices.clear()

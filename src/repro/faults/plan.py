@@ -1,0 +1,184 @@
+"""Declarative, seeded fault schedules.
+
+A :class:`FaultPlan` is pure data: it never touches a topology itself.
+That separation keeps chaos experiments reproducible — the plan can be
+recorded next to benchmark results, and replaying it through a
+:class:`~repro.faults.FaultInjector` against the same topology and
+workload yields bit-identical reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One scheduled fault against the simulated server.
+
+    ``kind`` is one of ``device_failure``, ``link_degradation`` or
+    ``memory_shrink``.  ``at`` is the server time the fault strikes;
+    ``until`` (optional) the server time it heals.  ``factor`` scales
+    bandwidth (links) or capacity (memory) and is unused for failures.
+    """
+
+    kind: str
+    target: str
+    at: float
+    until: float | None = None
+    factor: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("device_failure", "link_degradation",
+                             "memory_shrink"):
+            raise ValueError(f"unknown fault kind {self.kind!r}")
+        if self.at < 0.0:
+            raise ValueError("fault time cannot be negative")
+        if self.until is not None and self.until <= self.at:
+            raise ValueError("fault recovery must come after the fault")
+        if self.kind != "device_failure" and not 0.0 < self.factor <= 1.0:
+            raise ValueError("fault factor must be in (0, 1]")
+
+
+@dataclass(frozen=True)
+class TransientSpec:
+    """Seeded random transient faults drawn per execution attempt.
+
+    ``rate`` is the probability an attempt fails; ``fraction`` how far
+    into the attempt the failure strikes (the wasted-work fraction).
+    ``tenants``/``labels`` restrict which attempts are eligible.
+    """
+
+    rate: float
+    fraction: float = 0.5
+    tenants: tuple[str, ...] | None = None
+    labels: tuple[str, ...] | None = None
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.rate <= 1.0:
+            raise ValueError("transient fault rate must be in [0, 1]")
+        if not 0.0 <= self.fraction < 1.0:
+            raise ValueError("transient fault fraction must be in [0, 1)")
+
+    def matches(self, tenant: str, label: str) -> bool:
+        if self.tenants is not None and tenant not in self.tenants:
+            return False
+        if self.labels is not None and label not in self.labels:
+            return False
+        return True
+
+
+@dataclass(frozen=True)
+class TargetedSpec:
+    """A deterministic fault pinned to one (label, attempt) pair.
+
+    Used by tests and chaos suites that need an exact, reproducible
+    failure — e.g. "Q9's first attempt dies halfway through on gpu0".
+    ``device`` scopes the fault to a device (triggering failover instead
+    of a plain retry) when set.
+    """
+
+    label: str
+    attempt: int = 1
+    device: str | None = None
+    fraction: float = 0.5
+    message: str = "injected fault"
+
+    def __post_init__(self) -> None:
+        if self.attempt < 1:
+            raise ValueError("attempts are 1-based")
+        if not 0.0 <= self.fraction < 1.0:
+            raise ValueError("targeted fault fraction must be in [0, 1)")
+
+
+@dataclass
+class FaultPlan:
+    """A deterministic schedule of faults for one serving epoch.
+
+    Builder methods return ``self`` so plans read as a chain::
+
+        plan = (FaultPlan(seed=13)
+                .fail_device("gpu0", at=0.5, recover_at=2.0)
+                .degrade_link("pcie1", at=0.5, factor=0.25)
+                .transient_errors(rate=0.1, labels=("Q1",)))
+    """
+
+    seed: int = 0
+    events: list[FaultEvent] = field(default_factory=list)
+    transients: list[TransientSpec] = field(default_factory=list)
+    targeted: list[TargetedSpec] = field(default_factory=list)
+
+    # Builder ------------------------------------------------------------
+    def fail_device(self, device: str, *, at: float,
+                    recover_at: float | None = None) -> "FaultPlan":
+        """Kill ``device`` at server time ``at`` (healing at ``recover_at``)."""
+        self.events.append(FaultEvent(
+            kind="device_failure", target=device, at=at, until=recover_at))
+        return self
+
+    def degrade_link(self, link: str, *, at: float, factor: float,
+                     restore_at: float | None = None) -> "FaultPlan":
+        """Scale ``link`` bandwidth by ``factor`` from ``at`` on."""
+        self.events.append(FaultEvent(
+            kind="link_degradation", target=link, at=at, until=restore_at,
+            factor=factor))
+        return self
+
+    def shrink_device_memory(self, device: str, *, at: float, factor: float,
+                             restore_at: float | None = None) -> "FaultPlan":
+        """Shrink ``device`` memory capacity to ``factor`` of nominal."""
+        self.events.append(FaultEvent(
+            kind="memory_shrink", target=device, at=at, until=restore_at,
+            factor=factor))
+        return self
+
+    def transient_errors(self, *, rate: float, fraction: float = 0.5,
+                         tenants: tuple[str, ...] | None = None,
+                         labels: tuple[str, ...] | None = None) -> "FaultPlan":
+        """Add seeded random per-attempt transient faults."""
+        self.transients.append(TransientSpec(
+            rate=rate, fraction=fraction, tenants=tenants, labels=labels))
+        return self
+
+    def fail_attempt(self, label: str, *, attempt: int = 1,
+                     device: str | None = None, fraction: float = 0.5,
+                     message: str = "injected fault") -> "FaultPlan":
+        """Deterministically fail one specific attempt of one query."""
+        self.targeted.append(TargetedSpec(
+            label=label, attempt=attempt, device=device, fraction=fraction,
+            message=message))
+        return self
+
+    # Introspection ------------------------------------------------------
+    @property
+    def empty(self) -> bool:
+        """True when the plan injects nothing (server must equal PR 5)."""
+        return not (self.events or self.transients or self.targeted)
+
+    def describe(self) -> str:
+        """Human-readable summary used by examples and benchmarks."""
+        if self.empty:
+            return "FaultPlan(empty)"
+        lines = [f"FaultPlan(seed={self.seed}):"]
+        for event in sorted(self.events, key=lambda e: (e.at, e.target)):
+            heal = f" until t={event.until:g}" if event.until is not None else ""
+            extra = ("" if event.kind == "device_failure"
+                     else f" factor={event.factor:g}")
+            lines.append(
+                f"  t={event.at:g} {event.kind} {event.target}{extra}{heal}")
+        for spec in self.transients:
+            scope = []
+            if spec.tenants is not None:
+                scope.append(f"tenants={list(spec.tenants)}")
+            if spec.labels is not None:
+                scope.append(f"labels={list(spec.labels)}")
+            suffix = f" ({', '.join(scope)})" if scope else ""
+            lines.append(
+                f"  transient rate={spec.rate:g} "
+                f"fraction={spec.fraction:g}{suffix}")
+        for spec in self.targeted:
+            where = f" on {spec.device}" if spec.device else ""
+            lines.append(
+                f"  targeted {spec.label} attempt={spec.attempt}{where} "
+                f"fraction={spec.fraction:g}")
+        return "\n".join(lines)

@@ -9,7 +9,7 @@ behaviour and per-resource simulated clocks.
 
 from .clock import SimClock, TaskRecord, Timeline
 from .costmodel import AccessProfile, CostModel
-from .device import Device, DeviceGroup
+from .device import Device, DeviceGroup, DeviceHealth
 from .interconnect import Link, Route
 from .memory import Allocation, MemoryPool
 from .specs import (
@@ -33,6 +33,7 @@ __all__ = [
     "CostModel",
     "Device",
     "DeviceGroup",
+    "DeviceHealth",
     "DeviceKind",
     "DeviceSpec",
     "Link",

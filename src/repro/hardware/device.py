@@ -8,12 +8,29 @@ clock that accumulates that time.
 
 from __future__ import annotations
 
+import dataclasses
+import enum
 from dataclasses import dataclass
 
 from .clock import SimClock, TaskRecord
 from .costmodel import CostModel
 from .memory import Allocation, MemoryPool
 from .specs import DeviceKind, DeviceSpec
+
+
+class DeviceHealth(enum.Enum):
+    """Operational state of a simulated device.
+
+    ``HEALTHY`` devices participate fully; ``DEGRADED`` devices still run
+    work (the circuit breaker's half-open probe state); ``FAILED`` devices
+    are excluded from placement until restored.  Health intentionally lives
+    *outside* :meth:`Device.reset` — resetting clocks between queries must
+    not resurrect a dead GPU mid-epoch.
+    """
+
+    HEALTHY = "healthy"
+    DEGRADED = "degraded"
+    FAILED = "failed"
 
 
 class Device:
@@ -25,6 +42,8 @@ class Device:
         self.memory = MemoryPool(spec.name, spec.memory_capacity_bytes)
         self.cost = CostModel(spec)
         self.clock = SimClock(spec.name)
+        self.health = DeviceHealth.HEALTHY
+        self._nominal_memory_bytes = int(spec.memory_capacity_bytes)
 
     def __repr__(self) -> str:  # pragma: no cover - debug helper
         return f"Device({self.spec.name!r}, kind={self.spec.kind.value})"
@@ -45,6 +64,48 @@ class Device:
     @property
     def is_cpu(self) -> bool:
         return self.spec.kind is DeviceKind.CPU
+
+    # Health -------------------------------------------------------------
+    @property
+    def is_available(self) -> bool:
+        """Whether the device may be scheduled (not FAILED)."""
+        return self.health is not DeviceHealth.FAILED
+
+    def fail(self) -> None:
+        """Mark the device failed; placement skips it until restored."""
+        self.health = DeviceHealth.FAILED
+
+    def degrade(self) -> None:
+        """Mark the device degraded (half-open: probes allowed)."""
+        self.health = DeviceHealth.DEGRADED
+
+    def restore(self) -> None:
+        """Return the device to full health."""
+        self.health = DeviceHealth.HEALTHY
+
+    def shrink_memory(self, factor: float) -> None:
+        """Shrink usable memory to ``factor`` of the nominal capacity.
+
+        Models partial memory loss (ECC page retirement, a co-located
+        tenant pinning HBM).  The cost model and the paper's Q9-style
+        capacity checks read ``spec.memory_capacity_bytes``, so the spec is
+        replaced rather than just the pool.
+        """
+        if not 0.0 < factor <= 1.0:
+            raise ValueError("memory shrink factor must be in (0, 1]")
+        new_capacity = max(1, int(self._nominal_memory_bytes * factor))
+        self.spec = dataclasses.replace(
+            self.spec, memory_capacity_bytes=new_capacity)
+        self.memory.resize(new_capacity)
+        self.cost = CostModel(self.spec)
+
+    def restore_memory(self) -> None:
+        """Undo :meth:`shrink_memory`, returning to nominal capacity."""
+        if self.spec.memory_capacity_bytes != self._nominal_memory_bytes:
+            self.spec = dataclasses.replace(
+                self.spec, memory_capacity_bytes=self._nominal_memory_bytes)
+            self.memory.resize(self._nominal_memory_bytes)
+            self.cost = CostModel(self.spec)
 
     # Memory -------------------------------------------------------------
     def allocate(self, nbytes: int, label: str = "buffer") -> Allocation:

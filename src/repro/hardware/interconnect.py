@@ -10,6 +10,7 @@ scale by 1.7x in Figure 7.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass
 
 from .clock import SimClock, TaskRecord
@@ -27,6 +28,7 @@ class Link:
         self.endpoint_b = endpoint_b
         self.clock = SimClock(spec.name)
         self._bytes_moved = 0
+        self._nominal_bandwidth_gib_s = float(spec.bandwidth_gib_s)
 
     def __repr__(self) -> str:  # pragma: no cover - debug helper
         return f"Link({self.spec.name!r}, {self.endpoint_a!r}<->{self.endpoint_b!r})"
@@ -58,6 +60,26 @@ class Link:
         return self.clock.reserve(
             self.transfer_time(nbytes), earliest=earliest, label=label
         )
+
+    def degrade(self, factor: float) -> None:
+        """Scale the link bandwidth to ``factor`` of its nominal value.
+
+        Models a flapping PCIe bus renegotiating to fewer lanes — the
+        "scarcest resource" of Section 3 becoming scarcer.  Transfers
+        already scheduled keep their recorded times; only future transfers
+        see the reduced bandwidth.
+        """
+        if not 0.0 < factor <= 1.0:
+            raise ValueError("link degradation factor must be in (0, 1]")
+        self.spec = dataclasses.replace(
+            self.spec,
+            bandwidth_gib_s=self._nominal_bandwidth_gib_s * factor)
+
+    def restore(self) -> None:
+        """Undo :meth:`degrade`, returning to nominal bandwidth."""
+        if self.spec.bandwidth_gib_s != self._nominal_bandwidth_gib_s:
+            self.spec = dataclasses.replace(
+                self.spec, bandwidth_gib_s=self._nominal_bandwidth_gib_s)
 
     def reset(self) -> None:
         self.clock.reset()

@@ -98,6 +98,19 @@ class MemoryPool:
             del self._live[allocation.allocation_id]
             self._used_bytes -= allocation.nbytes
 
+    def resize(self, capacity_bytes: int) -> None:
+        """Change the pool capacity in place (fault injection: memory loss).
+
+        Live allocations are kept even if they now exceed the capacity —
+        subsequent allocations simply see a negative ``free_bytes`` and
+        fail, which is how a real allocator behaves when memory is taken
+        away underneath it.
+        """
+        capacity_bytes = int(capacity_bytes)
+        if capacity_bytes <= 0:
+            raise ValueError("memory pool needs a positive capacity")
+        self.capacity_bytes = capacity_bytes
+
     def release_all(self) -> None:
         """Free every live allocation (used between benchmark repetitions)."""
         for allocation in list(self._live.values()):

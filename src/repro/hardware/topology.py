@@ -157,6 +157,77 @@ class Topology:
         return DeviceGroup(name=f"all-{kind.value}s", devices=devices)
 
     # ------------------------------------------------------------------
+    # Health (fault injection / failover)
+    # ------------------------------------------------------------------
+    # Health state deliberately lives outside :meth:`reset`: the executor
+    # resets per-query clocks before every execution, and that must not
+    # resurrect a GPU that failed mid-epoch.  Only explicit restore calls
+    # (or :meth:`reset_health`) bring devices back.
+
+    def available_devices(self) -> tuple[Device, ...]:
+        """Every device that is not FAILED."""
+        return tuple(d for d in self._devices.values() if d.is_available)
+
+    def available_cpus(self) -> tuple[Device, ...]:
+        return tuple(d for d in self._devices.values()
+                     if d.is_cpu and d.is_available)
+
+    def available_gpus(self) -> tuple[Device, ...]:
+        return tuple(d for d in self._devices.values()
+                     if d.is_gpu and d.is_available)
+
+    def fail_device(self, name: str) -> None:
+        """Mark a device FAILED; placement skips it until restored."""
+        self.device(name).fail()
+
+    def degrade_device(self, name: str) -> None:
+        """Mark a device DEGRADED (still schedulable; half-open probe)."""
+        self.device(name).degrade()
+
+    def restore_device(self, name: str) -> None:
+        """Bring a device back to HEALTHY."""
+        self.device(name).restore()
+
+    def reset_health(self) -> None:
+        """Return every device to HEALTHY and undo memory/link faults."""
+        for device in self._devices.values():
+            device.restore()
+            device.restore_memory()
+        for link in self._links.values():
+            link.restore()
+            self._refresh_edge_weight(link)
+
+    def health_report(self) -> dict[str, str]:
+        """Mapping of device name to its health state value."""
+        return {name: device.health.value
+                for name, device in self._devices.items()}
+
+    def shrink_device_memory(self, name: str, factor: float) -> None:
+        """Shrink a device's usable memory to ``factor`` of nominal."""
+        self.device(name).shrink_memory(factor)
+
+    def restore_device_memory(self, name: str) -> None:
+        """Undo :meth:`shrink_device_memory` for one device."""
+        self.device(name).restore_memory()
+
+    def degrade_link(self, name: str, factor: float) -> None:
+        """Scale a link's bandwidth to ``factor`` of nominal."""
+        link = self.link(name)
+        link.degrade(factor)
+        self._refresh_edge_weight(link)
+
+    def restore_link(self, name: str) -> None:
+        """Undo :meth:`degrade_link` for one link."""
+        link = self.link(name)
+        link.restore()
+        self._refresh_edge_weight(link)
+
+    def _refresh_edge_weight(self, link: Link) -> None:
+        """Keep routing weights in sync with a link's current bandwidth."""
+        edge = self._graph.edges[link.endpoint_a, link.endpoint_b]
+        edge["weight"] = 1.0 / link.spec.bandwidth_gib_s
+
+    # ------------------------------------------------------------------
     # Routing and transfers
     # ------------------------------------------------------------------
     def route(self, source: str, destination: str) -> Route:

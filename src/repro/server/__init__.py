@@ -18,19 +18,41 @@ single-session engine (see ``docs/SERVING.md``):
 :class:`~repro.server.server.QueryServer` ties them together and reports
 per-tenant accounting through
 :class:`~repro.server.server.ServerReport`.
+
+Serving is fault tolerant (see ``docs/FAULTS.md``): a
+:class:`~repro.faults.FaultPlan` passed to the server is replayed
+deterministically during :meth:`~repro.server.server.QueryServer.run`,
+failed attempts are retried under per-tenant
+:class:`~repro.server.admission.RetryPolicy` budgets, device-scoped
+failures walk the gpu → hybrid → cpu degradation ladder
+(:data:`~repro.server.server.MODE_DEGRADATION`), and per-query deadlines
+bound the whole recovery dance.
 """
 
-from .admission import PRIORITY_CLASSES, AdmissionController, TenantPolicy
+from .admission import (
+    PRIORITY_CLASSES,
+    AdmissionController,
+    RetryPolicy,
+    TenantPolicy,
+)
 from .scheduler import DeviceScheduler
-from .server import QueryServer, QueryTicket, ServerReport, TenantReport
+from .server import (
+    MODE_DEGRADATION,
+    QueryServer,
+    QueryTicket,
+    ServerReport,
+    TenantReport,
+)
 from .sharedcache import SharedQueryCache
 
 __all__ = [
+    "MODE_DEGRADATION",
     "PRIORITY_CLASSES",
     "AdmissionController",
     "DeviceScheduler",
     "QueryServer",
     "QueryTicket",
+    "RetryPolicy",
     "ServerReport",
     "SharedQueryCache",
     "TenantPolicy",

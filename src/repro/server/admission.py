@@ -73,6 +73,42 @@ class TenantPolicy:
         return PRIORITY_CLASSES[self.priority]
 
 
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How the server retries a tenant's failed attempts.
+
+    ``max_attempts`` bounds total executions of one query (1 = never
+    retry).  Between attempts the server charges a simulated exponential
+    backoff — ``backoff_seconds * backoff_multiplier**(attempt-1)`` after
+    the ``attempt``-th failure — which lands in the ticket's queue wait
+    (the query sits out the backoff, it does not occupy devices).
+    ``deadline_seconds``, when set, is the default per-query deadline
+    measured from submit time; :meth:`QueryServer.submit` may override it
+    per query.
+    """
+
+    max_attempts: int = 3
+    backoff_seconds: float = 0.05
+    backoff_multiplier: float = 2.0
+    deadline_seconds: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if self.backoff_seconds < 0.0:
+            raise ValueError("backoff_seconds must be >= 0")
+        if self.backoff_multiplier < 1.0:
+            raise ValueError("backoff_multiplier must be >= 1")
+        if self.deadline_seconds is not None and self.deadline_seconds <= 0.0:
+            raise ValueError("deadline_seconds must be positive or None")
+
+    def backoff(self, attempt: int) -> float:
+        """Simulated wait after the ``attempt``-th failed attempt (1-based)."""
+        if attempt < 1:
+            raise ValueError("attempts are 1-based")
+        return self.backoff_seconds * self.backoff_multiplier ** (attempt - 1)
+
+
 @dataclass
 class _Queued:
     """One queued submission (the payload is opaque to the controller)."""
@@ -149,6 +185,29 @@ class AdmissionController:
                              estimated_bytes=int(estimated_bytes),
                              at=float(at)))
 
+    def requeue(self, tenant: str, item: Any, *, estimated_bytes: int,
+                at: float) -> None:
+        """Re-queue an already-admitted item (retry or failover).
+
+        Bypasses the queue-depth bound: the item was admitted once and its
+        slot was released by ``on_finish``; bouncing it on backpressure
+        would turn a transient device fault into a lost query.  The item
+        receives a fresh arrival sequence and becomes dispatchable at
+        ``at`` (the end of its simulated backoff), slotting in ahead of
+        any queued entry with a later submit time — a retry must not be
+        head-of-line blocked by a query that has not yet arrived.
+        """
+        self.policy(tenant)
+        queue = self._queues[tenant]
+        entry = _Queued(seq=next(self._arrivals), item=item,
+                        estimated_bytes=int(estimated_bytes), at=float(at))
+        index = len(queue)
+        for i, queued in enumerate(queue):
+            if queued.at > entry.at:
+                index = i
+                break
+        queue.insert(index, entry)
+
     # ------------------------------------------------------------------
     # Dispatch
     # ------------------------------------------------------------------
@@ -192,6 +251,21 @@ class AdmissionController:
         """Release the concurrency slot and memory headroom of one query."""
         self._running[tenant] -= 1
         self._in_flight_bytes[tenant] -= int(estimated_bytes)
+
+    def abort_epoch(self) -> None:
+        """Drop all queued work and in-flight accounting (epoch unwind).
+
+        Used by the server's exception-safe drain: after a fatal epoch
+        error the queues are cleared and every concurrency slot and memory
+        reservation is released, so the controller is coherent for the
+        next epoch.  Dispatch counters (fairness) and rejection counters
+        survive — they describe history, not in-flight state.
+        """
+        for queue in self._queues.values():
+            queue.clear()
+        for tenant in self._running:
+            self._running[tenant] = 0
+            self._in_flight_bytes[tenant] = 0
 
     # ------------------------------------------------------------------
     # Event-loop introspection

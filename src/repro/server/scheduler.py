@@ -51,26 +51,47 @@ class DeviceScheduler:
                         for name, busy in result.device_busy.items()
                         if busy > cutoff}
         for device in self.topology.devices:
+            if not device.is_available:
+                # A failed device never takes new reservations; executions
+                # that somehow still charged it (a fault striking an
+                # already-measured attempt) keep their threshold-cleared
+                # entry above, but mode membership alone does not pin work
+                # to dead hardware.
+                continue
             if ((device.is_cpu and result.mode.uses_cpus)
                     or (device.is_gpu and result.mode.uses_gpus)):
                 reservations.setdefault(
                     device.name, result.device_busy.get(device.name, 0.0))
         if not reservations:
-            reservations = {self.topology.cpus()[0].name: makespan}
+            anchors = self.topology.available_cpus() or self.topology.cpus()
+            reservations = {anchors[0].name: makespan}
         return reservations
 
     def dispatch(self, result: QueryResult, *, earliest: float,
-                 label: str) -> tuple[float, float, tuple[str, ...]]:
+                 label: str, fraction: float = 1.0
+                 ) -> tuple[float, float, tuple[str, ...]]:
         """Reserve the query's resources; returns (start, finish, names).
 
         The start is the earliest server time at which every reserved
         resource is free (and not before ``earliest``); the query finishes
         its own makespan later — per-query simulated seconds are never
         altered by contention, only delayed.
+
+        ``fraction`` < 1 reserves only that fraction of every busy time
+        and of the makespan: a fault-killed attempt occupies the hardware
+        up to the point it died, not for the full query it never finished.
+        ``fraction=1`` is bit-identical to the unscaled reservation.
         """
+        if not 0.0 <= fraction <= 1.0:
+            raise ValueError("dispatch fraction must be in [0, 1]")
         reservations = self.reservations(result)
+        if fraction != 1.0:
+            reservations = {name: busy * fraction
+                            for name, busy in reservations.items()}
         start = self.topology.occupancy.reserve(reservations,
                                                 earliest=earliest,
                                                 label=label)
-        return start, start + result.simulated_seconds, tuple(
-            sorted(reservations))
+        makespan = result.simulated_seconds
+        if fraction != 1.0:
+            makespan = makespan * fraction
+        return start, start + makespan, tuple(sorted(reservations))

@@ -21,10 +21,26 @@ Two invariants carry over unchanged from the single-session engine:
   runs return exactly the tables a serial run returns, in a reproducible
   order.
 
+The server is also *fault tolerant*: a :class:`~repro.faults.FaultPlan`
+(or an organic failure such as
+:class:`~repro.errors.OutOfDeviceMemoryError` — the paper's Q9-on-GPU
+failure, Section 6.4) no longer aborts the drain.  Failed attempts are
+isolated to their ticket, device-scoped failures walk the mode-degradation
+ladder (gpu → hybrid → cpu), transient failures are retried under the
+tenant's :class:`~repro.server.admission.RetryPolicy` with simulated
+backoff charged as queue wait, per-query deadlines bound the whole dance,
+and a :class:`~repro.faults.CircuitBreaker` takes chronically failing
+devices out of rotation.  Wasted simulated seconds from failed attempts
+are accounted separately; the successful attempt itself remains
+bit-identical to a solo fault-free run in its final mode, and with an
+empty fault plan the server's behaviour is bit-identical to the
+fault-free serving layer.
+
 :meth:`QueryServer.run` drains the queues and returns a
 :class:`ServerReport` with per-query and per-tenant accounting: queue
-wait, device busy seconds, cache hits, peak intermediate bytes, latency
-percentiles, and the throughput speedup over serial submission.
+wait, device busy seconds, cache hits, peak intermediate bytes, retries,
+failovers, wasted seconds, latency percentiles, and the throughput
+speedup over serial submission.
 """
 
 from __future__ import annotations
@@ -37,24 +53,42 @@ import numpy as np
 
 from ..engine.querycache import CacheCounters, QueryCacheStats
 from ..engine.session import HAPEEngine, QueryResult
-from ..errors import AdmissionError, ServingError, UnknownTenantError
+from ..errors import (
+    AdmissionError,
+    DeviceUnavailableError,
+    FaultError,
+    OptimizerError,
+    OutOfDeviceMemoryError,
+    ReproError,
+    RetryExhaustedError,
+    ServingError,
+    UnknownTenantError,
+)
+from ..faults import CircuitBreaker, FaultInjector, FaultPlan, InjectedFault
 from ..hardware.topology import Topology, default_server
 from ..relational.logical import LogicalPlan
 from ..storage.catalog import Catalog
 from ..storage.table import Table
-from .admission import AdmissionController, TenantPolicy
+from .admission import AdmissionController, RetryPolicy, TenantPolicy
 from .scheduler import DeviceScheduler
 from .sharedcache import SharedQueryCache
+
+#: Mode-degradation ladder for device-scoped failures: a query that cannot
+#: run in its mode is re-planned one rung down.  CPU-only has no rung left.
+MODE_DEGRADATION = {"gpu": "hybrid", "hybrid": "cpu"}
 
 
 @dataclass
 class QueryTicket:
-    """One submission's lifecycle: queued → completed (or rejected).
+    """One submission's lifecycle: queued → completed/failed/timed_out.
 
     Times are simulated *server* seconds.  ``queue_wait`` spans submission
-    to execution start (admission blocking plus device contention);
-    ``latency`` additionally includes the query's own simulated makespan.
-    The functional answer is reachable through :attr:`result`.
+    to (final-attempt) execution start — admission blocking, device
+    contention and retry backoff; ``latency`` additionally includes the
+    query's own simulated makespan.  The functional answer is reachable
+    through :attr:`result`.  ``wasted_seconds`` sums the simulated time
+    burned by attempts that a fault killed; the successful attempt's
+    :attr:`simulated_seconds` never includes waste.
     """
 
     ticket_id: int
@@ -64,12 +98,27 @@ class QueryTicket:
     mode: str
     submit_time: float
     estimated_bytes: int
-    status: str = "queued"  # "queued" | "rejected" | "completed"
+    #: "queued" | "rejected" | "running" | "completed" | "failed" |
+    #: "timed_out"
+    status: str = "queued"
     start_time: float = 0.0
     finish_time: float = 0.0
     reserved: tuple[str, ...] = ()
     result: QueryResult | None = None
     cache: CacheCounters = field(default_factory=CacheCounters)
+    #: Execution mode of the current/most recent attempt (the failover
+    #: ladder rewrites this; :attr:`mode` keeps the requested mode).
+    current_mode: str = ""
+    deadline_seconds: float | None = None
+    attempts: int = 0
+    retries: int = 0
+    failovers: int = 0
+    wasted_seconds: float = 0.0
+    error: str | None = None
+
+    def __post_init__(self) -> None:
+        if not self.current_mode:
+            self.current_mode = self.mode
 
     @property
     def queue_wait(self) -> float:
@@ -83,6 +132,33 @@ class QueryTicket:
     def simulated_seconds(self) -> float:
         return self.result.simulated_seconds if self.result else 0.0
 
+    @property
+    def final_mode(self) -> str:
+        """The mode of the last attempt (post-failover)."""
+        return self.current_mode
+
+    @property
+    def deadline_time(self) -> float | None:
+        """Absolute server time of the deadline (None = unbounded)."""
+        if self.deadline_seconds is None:
+            return None
+        return self.submit_time + self.deadline_seconds
+
+
+@dataclass
+class _Attempt:
+    """One in-flight execution attempt on the completions heap."""
+
+    ticket: QueryTicket
+    kind: str  # "success" | "fault" | "timeout"
+    start: float
+    finish: float
+    result: QueryResult
+    cache_delta: CacheCounters
+    reserved: tuple[str, ...]
+    fault: InjectedFault | None = None
+    cancelled: bool = False
+
 
 @dataclass
 class TenantReport:
@@ -90,6 +166,11 @@ class TenantReport:
 
     completed: int = 0
     rejected: int = 0
+    failed: int = 0
+    timed_out: int = 0
+    retries: int = 0
+    failovers: int = 0
+    wasted_seconds: float = 0.0
     queue_wait_seconds: float = 0.0
     simulated_seconds: float = 0.0
     #: Cost-model busy seconds summed per resource over the tenant's
@@ -127,6 +208,26 @@ class ServerReport:
         return sum(1 for t in self.tickets if t.status == "rejected")
 
     @property
+    def failed(self) -> int:
+        return sum(1 for t in self.tickets if t.status == "failed")
+
+    @property
+    def timed_out(self) -> int:
+        return sum(1 for t in self.tickets if t.status == "timed_out")
+
+    @property
+    def retries(self) -> int:
+        return sum(t.retries for t in self.tickets)
+
+    @property
+    def failovers(self) -> int:
+        return sum(t.failovers for t in self.tickets)
+
+    @property
+    def wasted_seconds(self) -> float:
+        return sum(t.wasted_seconds for t in self.tickets)
+
+    @property
     def throughput_qps(self) -> float:
         if self.makespan <= 0:
             return 0.0
@@ -156,13 +257,23 @@ class ServerReport:
             f"p99={self.percentile_latency(99) * 1e3:.3f} ms",
             f"  shared cache: {self.cache.describe()}",
         ]
+        if self.failed or self.timed_out or self.retries or self.failovers:
+            lines.append(
+                f"  faults: {self.failed} failed, {self.timed_out} timed "
+                f"out, {self.retries} retries, {self.failovers} failovers, "
+                f"{self.wasted_seconds * 1e3:.3f} ms wasted")
         for name in sorted(self.tenants):
             tenant = self.tenants[name]
-            lines.append(
+            line = (
                 f"  {name}: {tenant.completed} ok / {tenant.rejected} "
                 f"rejected, wait {tenant.queue_wait_seconds * 1e3:.3f} ms, "
                 f"cache {tenant.cache.hits}/{tenant.cache.lookups} hits, "
                 f"peak {tenant.peak_intermediate_bytes / 1e6:.1f} MB")
+            if tenant.failed or tenant.timed_out or tenant.wasted_seconds:
+                line += (f", {tenant.failed} failed/{tenant.timed_out} "
+                         f"timed out, "
+                         f"{tenant.wasted_seconds * 1e3:.3f} ms wasted")
+            lines.append(line)
         return "\n".join(lines)
 
 
@@ -185,12 +296,29 @@ class QueryServer:
     occupancy_threshold:
         The scheduler's negligible-work cutoff: resources busy for less
         than this fraction of a query's makespan are not reserved.
+    fault_plan:
+        Optional deterministic chaos schedule replayed by a
+        :class:`~repro.faults.FaultInjector` during :meth:`run`.  Injected
+        faults are epoch-scoped: the topology is restored when the drain
+        ends.  An empty/absent plan leaves serving bit-identical to the
+        fault-free server.
+    retry_policy:
+        Server-wide default :class:`RetryPolicy`; ``open_session`` can
+        override it per tenant.
+    breaker_threshold / breaker_cooldown_seconds:
+        Circuit-breaker tuning: a device failing this many consecutive
+        attempts is marked failed and probed for recovery after the
+        cooldown elapses in server time.
     """
 
     def __init__(self, topology: Topology | None = None, *,
                  cache_budget_bytes: int | None = None,
                  cache_eviction: str = "lru",
-                 occupancy_threshold: float = 0.10) -> None:
+                 occupancy_threshold: float = 0.10,
+                 fault_plan: FaultPlan | None = None,
+                 retry_policy: RetryPolicy | None = None,
+                 breaker_threshold: int = 3,
+                 breaker_cooldown_seconds: float = 1.0) -> None:
         self.topology = topology if topology is not None else default_server()
         self.catalog = Catalog()
         if cache_budget_bytes is None:
@@ -204,11 +332,18 @@ class QueryServer:
         self.admission = AdmissionController()
         self.scheduler = DeviceScheduler(
             self.topology, occupancy_threshold=occupancy_threshold)
+        self.fault_plan = fault_plan or FaultPlan()
+        self.retry_policy = retry_policy or RetryPolicy()
+        self.breaker_threshold = breaker_threshold
+        self.breaker_cooldown_seconds = breaker_cooldown_seconds
+        self._retry_policies: dict[str, RetryPolicy] = {}
         self._sessions: dict[str, HAPEEngine] = {}
         self._ticket_ids = itertools.count(1)
         self._event_seq = itertools.count()
         #: Tickets awaiting (or rejected since) the next ``run()`` drain.
         self._epoch_tickets: list[QueryTicket] = []
+        self._injector: FaultInjector | None = None
+        self._breaker: CircuitBreaker | None = None
 
     # ------------------------------------------------------------------
     # Shared catalog
@@ -238,18 +373,22 @@ class QueryServer:
     # ------------------------------------------------------------------
     def open_session(self, tenant: str, *, priority: str = "normal",
                      max_concurrency: int = 1, max_queue_depth: int = 32,
-                     memory_budget_bytes: int | None = None) -> HAPEEngine:
+                     memory_budget_bytes: int | None = None,
+                     retry: RetryPolicy | None = None) -> HAPEEngine:
         """Open a tenant session with its admission policy.
 
         The session is a full :class:`HAPEEngine` sharing the server's
         topology, catalog and cache; it can also be used directly for
-        immediate (non-queued) execution.
+        immediate (non-queued) execution.  ``retry`` overrides the
+        server-wide :class:`RetryPolicy` for this tenant.
         """
         policy = TenantPolicy(priority=priority,
                               max_concurrency=max_concurrency,
                               max_queue_depth=max_queue_depth,
                               memory_budget_bytes=memory_budget_bytes)
         self.admission.open_tenant(tenant, policy)
+        if retry is not None:
+            self._retry_policies[tenant] = retry
         session = HAPEEngine(self.topology, catalog=self.catalog,
                              query_cache=self.query_cache)
         self._sessions[tenant] = session
@@ -261,6 +400,10 @@ class QueryServer:
         except KeyError as exc:
             raise UnknownTenantError(f"unknown tenant {tenant!r}") from exc
 
+    def tenant_retry_policy(self, tenant: str) -> RetryPolicy:
+        """The retry policy in force for one tenant."""
+        return self._retry_policies.get(tenant, self.retry_policy)
+
     @property
     def tenants(self) -> tuple[str, ...]:
         return tuple(self._sessions)
@@ -270,22 +413,28 @@ class QueryServer:
     # ------------------------------------------------------------------
     def submit(self, tenant: str, plan: LogicalPlan,
                mode: str = "hybrid", *, label: str | None = None,
-               at: float = 0.0) -> QueryTicket:
+               at: float = 0.0,
+               deadline: float | None = None) -> QueryTicket:
         """Queue one query for ``tenant``; may raise :class:`AdmissionError`.
 
         ``at`` is the simulated submission time (seconds of server time;
-        queries of one tenant dispatch FIFO).  A tenant without an open
-        session gets one with the default policy.  Rejected submissions
-        raise — and still appear in the next report, counted against the
-        tenant.
+        queries of one tenant dispatch FIFO).  ``deadline`` (seconds after
+        submission) bounds the query end-to-end — retries, failovers and
+        queueing included; it defaults to the tenant retry policy's
+        ``deadline_seconds``.  A tenant without an open session gets one
+        with the default policy.  Rejected submissions raise — and still
+        appear in the next report, counted against the tenant.
         """
         if not self.admission.has_tenant(tenant):
             self.open_session(tenant)
+        if deadline is None:
+            deadline = self.tenant_retry_policy(tenant).deadline_seconds
         ticket = QueryTicket(
             ticket_id=next(self._ticket_ids), tenant=tenant,
             label=label or f"q{len(self._epoch_tickets) + 1}", plan=plan,
             mode=mode, submit_time=float(at),
-            estimated_bytes=self._estimate_bytes(plan))
+            estimated_bytes=self._estimate_bytes(plan),
+            deadline_seconds=deadline)
         self._epoch_tickets.append(ticket)
         try:
             self.admission.submit(tenant, ticket,
@@ -309,15 +458,49 @@ class QueryServer:
         """Drain every queued submission; deterministic and single-threaded.
 
         Server time starts at zero (a fresh occupancy epoch) and advances
-        event by event: admit everything dispatchable now, else jump to the
-        next completion or future submission.  Functional execution happens
-        at dispatch — one query at a time, against the shared cache — while
-        the scheduler lays the measured busy seconds onto the occupancy
-        board, which is where concurrency (and therefore throughput) lives.
+        event by event: admit everything dispatchable now, else jump to
+        the next completion, future submission, scheduled fault or breaker
+        probe.  Functional execution happens at dispatch — one query at a
+        time, against the shared cache — while the scheduler lays the
+        measured busy seconds onto the occupancy board, which is where
+        concurrency (and therefore throughput) lives.
+
+        The drain is exception-safe: per-query failures are isolated to
+        their ticket; anything else (a programming error escaping the
+        engine) unwinds the epoch — queued and running tickets are
+        finalized as failed, admission state is released, injected faults
+        are healed — and re-raises as :class:`ServingError` carrying the
+        coherent partial report on its ``report`` attribute.  The server
+        remains usable for the next epoch either way.
         """
+        injector = FaultInjector(self.fault_plan, self.topology)
+        breaker = CircuitBreaker(
+            self.topology, threshold=self.breaker_threshold,
+            cooldown_seconds=self.breaker_cooldown_seconds)
+        self._injector, self._breaker = injector, breaker
         self.topology.reset_occupancy()
+        completions: list[tuple[float, int, _Attempt]] = []
+        try:
+            self._drain(completions)
+        except Exception as exc:
+            report = self._abort_epoch(completions, exc)
+            if isinstance(exc, ServingError):
+                exc.report = report
+                raise
+            error = ServingError(f"serving epoch aborted: {exc}")
+            error.report = report
+            raise error from exc
+        finally:
+            injector.restore_all()
+            breaker.restore_all()
+            self._injector = self._breaker = None
+        report = self._build_report()
+        self._epoch_tickets = []
+        return report
+
+    def _drain(self, completions: list) -> None:
         now = 0.0
-        completions: list[tuple[float, int, QueryTicket]] = []
+        self._apply_faults(now, completions)
         while True:
             while True:
                 pick = self.admission.next_admissible(now)
@@ -326,6 +509,8 @@ class QueryServer:
                 tenant, ticket, _ = pick
                 self._dispatch(tenant, ticket, now, completions)
             events = []
+            while completions and completions[0][2].cancelled:
+                heapq.heappop(completions)
             if completions:
                 events.append(completions[0][0])
             future_submit = self.admission.earliest_future_submit(now)
@@ -337,16 +522,56 @@ class QueryServer:
                         "admission deadlock: queued work but no runnable "
                         "query and no pending completion")
                 break
+            # Scheduled faults and breaker probes only matter while work
+            # remains; they never extend the epoch on their own.
+            fault_at = self._injector.next_event_time(now)
+            if fault_at is not None:
+                events.append(fault_at)
+            probe_at = self._breaker.next_probe_time(now)
+            if probe_at is not None:
+                events.append(probe_at)
             now = min(events)
             while completions and completions[0][0] <= now:
-                _, _, done = heapq.heappop(completions)
-                self.admission.on_finish(done.tenant, done.estimated_bytes)
-        report = self._build_report()
-        self._epoch_tickets = []
-        return report
+                _, _, attempt = heapq.heappop(completions)
+                if not attempt.cancelled:
+                    self._finish_attempt(attempt, attempt.finish)
+            self._apply_faults(now, completions)
 
+    def _apply_faults(self, now: float, completions: list) -> None:
+        """Apply scheduled faults/probes due at ``now``; kill stranded work."""
+        newly_failed = self._injector.advance(now)
+        self._breaker.advance(now)
+        if not newly_failed:
+            return
+        for _, _, attempt in completions:
+            if attempt.cancelled or attempt.finish <= now:
+                continue
+            if not any(name in attempt.reserved for name in newly_failed):
+                continue
+            attempt.cancelled = True
+            ticket = attempt.ticket
+            ticket.wasted_seconds += max(now - attempt.start, 0.0)
+            self.admission.on_finish(ticket.tenant, ticket.estimated_bytes)
+            lost = next(name for name in newly_failed
+                        if name in attempt.reserved)
+            self._failover_or_fail(
+                ticket, now,
+                DeviceUnavailableError(
+                    self.topology.device(lost).kind.value,
+                    f"device {lost!r} failed mid-query"))
+
+    # ------------------------------------------------------------------
+    # Dispatch: one execution attempt
+    # ------------------------------------------------------------------
     def _dispatch(self, tenant: str, ticket: QueryTicket, now: float,
                   completions: list) -> None:
+        deadline = ticket.deadline_time
+        if deadline is not None and now >= deadline:
+            self.admission.on_finish(tenant, ticket.estimated_bytes)
+            self._finalize_timeout(ticket, now)
+            return
+        ticket.attempts += 1
+        ticket.status = "running"
         session = self.session(tenant)
         # Per-ticket cache counters come from the shared cache's
         # tenant-scoped attribution, not the executor's session-level
@@ -354,19 +579,170 @@ class QueryServer:
         # bracketed by ``tenant()`` belongs to this query.
         before = self.query_cache.tenant_counters().get(tenant,
                                                         CacheCounters())
-        with self.query_cache.tenant(tenant):
-            result = session.execute(ticket.plan, ticket.mode)
+        try:
+            with self.query_cache.tenant(tenant):
+                result = session.execute(ticket.plan, ticket.current_mode)
+        except ReproError as error:
+            # Planning/allocation failures strike before any simulated
+            # work: the attempt burns no device time, only its slot.
+            self.admission.on_finish(tenant, ticket.estimated_bytes)
+            self._route_failure(ticket, now, error)
+            return
         after = self.query_cache.tenant_counters()[tenant]
-        start, finish, reserved = self.scheduler.dispatch(
-            result, earliest=now,
-            label=f"{tenant}:{ticket.label}")
-        ticket.status = "completed"
-        ticket.start_time = start
-        ticket.finish_time = finish
-        ticket.reserved = reserved
-        ticket.result = result
-        ticket.cache = after.since(before)
-        heapq.heappush(completions, (finish, next(self._event_seq), ticket))
+        cache_delta = after.since(before)
+
+        # Decide — before reserving — whether this attempt survives: an
+        # injected fault may kill it mid-run, and the deadline may cut it
+        # short.  The start estimate reproduces the occupancy board's own
+        # rule (max of availability and now), so the reservation below
+        # lands at exactly this start.
+        reservations = self.scheduler.reservations(result)
+        start = max(self.topology.occupancy.available_at(tuple(reservations)),
+                    now)
+        sim = result.simulated_seconds
+        fault = self._injector.attempt_fault(tenant, ticket.label,
+                                             ticket.attempts)
+        kind, dies_at = "success", start + sim
+        if fault is not None:
+            kind, dies_at = "fault", start + fault.fraction * sim
+        if deadline is not None and dies_at > deadline:
+            kind, dies_at, fault = "timeout", deadline, None
+        fraction = 1.0
+        if kind != "success" and sim > 0.0:
+            fraction = min(max((dies_at - start) / sim, 0.0), 1.0)
+        start_r, finish, reserved = self.scheduler.dispatch(
+            result, earliest=now, label=f"{tenant}:{ticket.label}",
+            fraction=fraction)
+        attempt = _Attempt(ticket=ticket, kind=kind, start=start_r,
+                           finish=finish, result=result,
+                           cache_delta=cache_delta, reserved=reserved,
+                           fault=fault)
+        heapq.heappush(completions,
+                       (finish, next(self._event_seq), attempt))
+
+    def _finish_attempt(self, attempt: _Attempt, now: float) -> None:
+        """An attempt reached its end (success, injected fault, deadline)."""
+        ticket = attempt.ticket
+        self.admission.on_finish(ticket.tenant, ticket.estimated_bytes)
+        if attempt.kind == "success":
+            ticket.status = "completed"
+            ticket.start_time = attempt.start
+            ticket.finish_time = attempt.finish
+            ticket.reserved = attempt.reserved
+            ticket.result = attempt.result
+            ticket.cache = attempt.cache_delta
+            ticket.error = None
+            self._breaker.record_success(attempt.reserved)
+            return
+        # The attempt died part-way: account the simulated time it burned.
+        ticket.wasted_seconds += max(attempt.finish - attempt.start, 0.0)
+        if attempt.kind == "timeout":
+            self._finalize_timeout(ticket, now)
+            return
+        fault = attempt.fault
+        assert fault is not None
+        if fault.kind == "device" and fault.device is not None:
+            self._breaker.record_failure(fault.device, now)
+            self._failover_or_fail(
+                ticket, now,
+                DeviceUnavailableError(
+                    self.topology.device(fault.device).kind.value,
+                    fault.message))
+        else:
+            self._retry_or_fail(ticket, now, FaultError(fault.message))
+
+    # ------------------------------------------------------------------
+    # Failure routing: failover ladder, retries, deadlines
+    # ------------------------------------------------------------------
+    def _route_failure(self, ticket: QueryTicket, now: float,
+                       error: ReproError) -> None:
+        """Classify a synchronous execution failure and route it."""
+        if isinstance(error, OutOfDeviceMemoryError):
+            # Organic device-scoped failure (the paper's Q9-on-GPU case):
+            # the breaker learns about the device, the ticket fails over.
+            self._breaker.record_failure(error.device, now)
+            self._failover_or_fail(ticket, now, error)
+        elif isinstance(error, (DeviceUnavailableError, OptimizerError)):
+            # The mode cannot run on the surviving devices at all; no
+            # single device to blame, straight to the ladder.
+            self._failover_or_fail(ticket, now, error)
+        else:
+            self._retry_or_fail(ticket, now, error)
+
+    def _failover_or_fail(self, ticket: QueryTicket, now: float,
+                          error: Exception) -> None:
+        """Walk the mode-degradation ladder; fail when it is exhausted.
+
+        Failovers do not consume retry attempts: changing mode is the
+        server adapting placement (the paper's core premise), not the
+        query being flaky.
+        """
+        next_mode = MODE_DEGRADATION.get(ticket.current_mode)
+        if next_mode is None:
+            self._finalize_failure(ticket, now, error)
+            return
+        ticket.failovers += 1
+        ticket.current_mode = next_mode
+        ticket.status = "queued"
+        self.admission.requeue(ticket.tenant, ticket,
+                               estimated_bytes=ticket.estimated_bytes,
+                               at=now)
+
+    def _retry_or_fail(self, ticket: QueryTicket, now: float,
+                       error: Exception) -> None:
+        """Retry under the tenant policy; exhausted retries fail cleanly."""
+        policy = self.tenant_retry_policy(ticket.tenant)
+        if ticket.attempts >= policy.max_attempts:
+            self._finalize_failure(
+                ticket, now,
+                RetryExhaustedError(ticket.label, ticket.attempts, error))
+            return
+        ticket.retries += 1
+        ticket.status = "queued"
+        # Simulated backoff: the ticket sits out the wait in its queue, so
+        # the backoff surfaces as queue wait, never as device time.
+        self.admission.requeue(ticket.tenant, ticket,
+                               estimated_bytes=ticket.estimated_bytes,
+                               at=now + policy.backoff(ticket.attempts))
+
+    def _finalize_failure(self, ticket: QueryTicket, now: float,
+                          error: Exception) -> None:
+        ticket.status = "failed"
+        ticket.finish_time = now
+        ticket.result = None
+        ticket.error = str(error)
+
+    def _finalize_timeout(self, ticket: QueryTicket, now: float) -> None:
+        deadline = ticket.deadline_time
+        assert deadline is not None
+        ticket.status = "timed_out"
+        ticket.finish_time = max(now, deadline)
+        ticket.result = None
+        ticket.error = (f"query {ticket.label!r} exceeded its "
+                        f"{ticket.deadline_seconds:.6f}s deadline")
+
+    # ------------------------------------------------------------------
+    # Epoch unwind (exception safety)
+    # ------------------------------------------------------------------
+    def _abort_epoch(self, completions: list, cause: Exception
+                     ) -> ServerReport:
+        """Finalize a partially drained epoch into a coherent report.
+
+        In-flight and queued tickets become failed, admission queues and
+        accounting are released, and the ticket buffer resets so the
+        server can serve the next epoch.
+        """
+        for _, _, attempt in completions:
+            attempt.cancelled = True
+        for ticket in self._epoch_tickets:
+            if ticket.status in ("queued", "running"):
+                ticket.status = "failed"
+                ticket.result = None
+                ticket.error = f"epoch aborted: {cause}"
+        self.admission.abort_epoch()
+        report = self._build_report()
+        self._epoch_tickets = []
+        return report
 
     # ------------------------------------------------------------------
     def _build_report(self) -> ServerReport:
@@ -375,8 +751,20 @@ class QueryServer:
         serial = 0.0
         for ticket in self._epoch_tickets:
             report = tenants.setdefault(ticket.tenant, TenantReport())
+            report.retries += ticket.retries
+            report.failovers += ticket.failovers
+            report.wasted_seconds += ticket.wasted_seconds
+            if ticket.wasted_seconds > 0.0 or ticket.status in (
+                    "failed", "timed_out"):
+                makespan = max(makespan, ticket.finish_time)
             if ticket.status == "rejected":
                 report.rejected += 1
+                continue
+            if ticket.status == "failed":
+                report.failed += 1
+                continue
+            if ticket.status == "timed_out":
+                report.timed_out += 1
                 continue
             if ticket.status != "completed":  # pragma: no cover - drained
                 continue
