@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test fuzz coverage examples bench bench-full serve-bench chaos docs-check
+.PHONY: test fuzz coverage examples bench bench-full serve-bench scale-bench chaos docs-check
 
 ## Tier-1 test suite (what CI runs).  Includes 200 seeded differential
 ## plan-fuzzing cases; `make fuzz` cranks the seed count.
@@ -56,6 +56,17 @@ serve-bench:
 		--sf 0.05 --repeat 1 --output /tmp/BENCH_serve_smoke.json
 	$(PYTHON) tools/check_serve.py --bench /tmp/BENCH_serve_smoke.json \
 		--baseline BENCH_results.json --min-speedup 2.0
+
+## Worker-scaling smoke run (CI job "parallel"): the TPC-H suite at
+## workers in {1,2,4,auto} into a scratch file, then gate the invariants —
+## simulated seconds / device busy / link bytes bit-identical at every
+## worker count, and (on hosts with >= 4 CPUs) wall-clock >= 1.5x faster
+## at 4 workers than at 1.
+scale-bench:
+	$(PYTHON) benchmarks/run_benchmarks.py --suites scale \
+		--sf 0.05 --repeat 3 --output /tmp/BENCH_scale_smoke.json
+	$(PYTHON) tools/check_scale.py --bench /tmp/BENCH_scale_smoke.json \
+		--min-speedup 1.5
 
 ## Chaos smoke run (CI job "chaos"): the 4-tenant serve workload with a
 ## mid-run dual-GPU outage into a scratch file, then gate the invariants —

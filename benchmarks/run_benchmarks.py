@@ -167,6 +167,72 @@ def suite_tpch_warm(args: argparse.Namespace, topology) -> dict:
     }
 
 
+def suite_scale(args: argparse.Namespace) -> dict:
+    """Wall-clock scaling of the TPC-H suite vs the ``workers`` knob.
+
+    Runs the cold TPC-H suite (every query x every mode, cross-query
+    caching disabled like suite ``tpch``) at workers in {1, 2, 4, auto}
+    and records per-count wall-clock plus the speedup over ``workers=1``.
+    Alongside the timing it verifies the determinism contract at bench
+    scale: simulated seconds, device busy times and link bytes must be
+    bit-identical at every worker count.  ``tools/check_scale.py`` gates
+    on this record.
+    """
+    from repro.engine.workers import available_cpus
+
+    dataset = generate_tpch(args.sf, seed=args.seed)
+    queries = all_queries(dataset)
+    counts: list[int | str] = [1, 2, 4, "auto"]
+
+    def run_at(workers) -> tuple[float, dict]:
+        engine = HAPEEngine(default_server(), cache_budget_bytes=0,
+                            workers=workers)
+        engine.register_dataset(dataset.tables, replace=True)
+
+        def run():
+            record = {}
+            for name, query in queries.items():
+                for mode in MODES:
+                    result = engine.execute(query.plan, mode)
+                    record[f"{name}/{mode}"] = {
+                        "simulated_seconds": result.simulated_seconds,
+                        "device_busy": dict(sorted(
+                            result.device_busy.items())),
+                        "link_bytes": dict(sorted(
+                            result.link_bytes.items())),
+                    }
+            return record
+
+        wall, record = _best_wall(args.repeat, run)
+        return wall, record
+
+    per_workers: dict[str, dict] = {}
+    baseline_record = None
+    identical = True
+    for workers in counts:
+        wall, record = run_at(workers)
+        if baseline_record is None:
+            baseline_record = record
+        identical = identical and record == baseline_record
+        per_workers[str(workers)] = {
+            "resolved_workers": (available_cpus() if workers == "auto"
+                                 else workers),
+            "wall_clock_seconds": wall,
+            "speedup_vs_one_worker": (
+                per_workers["1"]["wall_clock_seconds"] / wall
+                if "1" in per_workers and wall > 0 else 1.0),
+        }
+    return {
+        "scale_factor": args.sf,
+        "cpu_count": available_cpus(),
+        "workers": per_workers,
+        "simulated_identical_across_workers": identical,
+        "wall_clock_seconds": per_workers["1"]["wall_clock_seconds"],
+        "speedup_at_4_workers":
+            per_workers["4"]["speedup_vs_one_worker"],
+    }
+
+
 def suite_mem(args: argparse.Namespace, topology) -> dict:
     """Peak intermediate memory of TPC-H Q5 hybrid (``tracemalloc``).
 
@@ -547,6 +613,7 @@ def main(argv: list[str] | None = None) -> int:
         "fig9": lambda: suite_fig9(args, tpch_models),
         "tpch": lambda: suite_tpch(args, topology),
         "tpch_warm": lambda: suite_tpch_warm(args, topology),
+        "scale": lambda: suite_scale(args),
         "mem": lambda: suite_mem(args, topology),
         "serve": lambda: suite_serve(args),
         "chaos": lambda: suite_chaos(args),
@@ -578,6 +645,15 @@ def main(argv: list[str] | None = None) -> int:
                 f"p99 {record['latency_p99_seconds'] * 1e3:.3f}ms, "
                 f"single-query identical="
                 f"{record['single_query_simulated_identical']}")
+        if "speedup_at_4_workers" in suites[name]:
+            record = suites[name]
+            scaling = ", ".join(
+                f"w={workers}:{data['wall_clock_seconds']:.3f}s"
+                for workers, data in record["workers"].items())
+            summary += (
+                f", {scaling}, 4-worker speedup "
+                f"{record['speedup_at_4_workers']:.2f}x, sims identical="
+                f"{record['simulated_identical_across_workers']}")
         if "makespan_degradation" in suites[name]:
             record = suites[name]
             summary += (

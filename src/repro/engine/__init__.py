@@ -10,6 +10,7 @@ from .querycache import (
     QueryCacheStats,
 )
 from .session import HAPEEngine, QueryResult, Session
+from .workers import WorkerPool, available_cpus, default_workers, resolve_workers
 
 __all__ = [
     "CacheCounters",
@@ -26,4 +27,8 @@ __all__ = [
     "QueryCacheStats",
     "QueryResult",
     "Session",
+    "WorkerPool",
+    "available_cpus",
+    "default_workers",
+    "resolve_workers",
 ]

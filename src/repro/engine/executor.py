@@ -151,6 +151,7 @@ from .querycache import (
     QueryCache,
     result_nbytes,
 )
+from .workers import WorkerPool, resolve_workers
 
 _KernelResult = TypeVar("_KernelResult")
 
@@ -185,6 +186,14 @@ class ExecutorOptions:
     #: Wall-clock/working-set only — outputs, stats and simulated seconds
     #: are bit-identical with fusion on or off.
     pipeline_fusion: bool = True
+    #: Worker threads driving fused-chain morsel streams and radix
+    #: partition passes: ``1`` = run inline (the exact single-threaded
+    #: path), ``"auto"`` = the machine's CPU count, ``None`` = defer to
+    #: the ``REPRO_WORKERS`` environment variable (else 1).  Wall-clock
+    #: only — the ordered-merge contract of
+    #: :class:`~repro.engine.workers.WorkerPool` keeps outputs, stats and
+    #: simulated seconds bit-identical at every worker count.
+    workers: int | str | None = None
 
 
 @dataclass
@@ -306,8 +315,11 @@ class _PassthroughStage:
     def begin(self, executor: "Executor") -> None:
         pass
 
-    def process(self, batch: ArrayMap) -> ArrayMap:
-        return batch
+    def transform(self, batch: ArrayMap) -> tuple[ArrayMap, object]:
+        return batch, None
+
+    def absorb(self, contribution: object) -> None:
+        pass
 
     def finish(self) -> object:
         return None
@@ -332,6 +344,11 @@ class _FilterProjectStage:
     the whole-batch :class:`FilterProjectStats` — input rows and touched
     bytes are additive over morsels, so the record (and therefore the
     replayed cost) is bit-identical to a standalone kernel evaluation.
+
+    ``transform`` is pure (no stage state touched) so worker threads can
+    run morsels concurrently; the integer contributions are absorbed on
+    the query thread in morsel order, making the accumulated stats
+    independent of completion order.
     """
 
     __slots__ = ("node", "referenced", "in_rows", "touched", "out_nbytes")
@@ -351,13 +368,18 @@ class _FilterProjectStage:
         record_kernel_invocation("filter_project")
         self.in_rows = self.touched = self.out_nbytes = 0
 
-    def process(self, batch: ArrayMap) -> ArrayMap:
-        self.in_rows += columns_num_rows(batch)
-        self.touched += touched_bytes(batch, self.referenced)
+    def transform(self, batch: ArrayMap) -> tuple[ArrayMap, object]:
+        in_rows = columns_num_rows(batch)
+        touched = touched_bytes(batch, self.referenced)
         out = filter_project_morsel(batch, predicate=self.node.predicate,
                                     projections=self.node.projections)
-        self.out_nbytes += columns_nbytes(out)
-        return out
+        return out, (in_rows, touched, columns_nbytes(out))
+
+    def absorb(self, contribution: object) -> None:
+        in_rows, touched, out_nbytes = contribution  # type: ignore[misc]
+        self.in_rows += in_rows
+        self.touched += touched
+        self.out_nbytes += out_nbytes
 
     def finish(self) -> object:
         return (FilterProjectStats(num_rows=self.in_rows,
@@ -384,6 +406,10 @@ class _HashJoinProbeStage:
     match list is ordered by probe position, the streamed outputs
     concatenate to exactly the whole-column join, and the accumulated
     :class:`JoinStats` equals the standalone kernel's record.
+
+    After :meth:`begin`, the join index is read-only: ``transform``
+    (probe) is safe to run from multiple worker threads, and the byte
+    contributions are absorbed on the query thread in morsel order.
     """
 
     __slots__ = ("node", "build", "builder", "devices", "probe_rows",
@@ -424,13 +450,18 @@ class _HashJoinProbeStage:
             iter_morsels(self.build.columns, morsel_rows),
             build_keys=self.node.build_keys)
 
-    def process(self, batch: ArrayMap) -> ArrayMap:
+    def transform(self, batch: ArrayMap) -> tuple[ArrayMap, object]:
         assert self.builder is not None
-        self.probe_rows += columns_num_rows(batch)
-        self.probe_nbytes += columns_nbytes(batch)
+        probe_rows = columns_num_rows(batch)
+        probe_nbytes = columns_nbytes(batch)
         out = self.builder.probe(batch, probe_keys=self.node.probe_keys)
-        self.out_nbytes += columns_nbytes(out)
-        return out
+        return out, (probe_rows, probe_nbytes, columns_nbytes(out))
+
+    def absorb(self, contribution: object) -> None:
+        probe_rows, probe_nbytes, out_nbytes = contribution  # type: ignore[misc]
+        self.probe_rows += probe_rows
+        self.probe_nbytes += probe_nbytes
+        self.out_nbytes += out_nbytes
 
     def finish(self) -> object:
         assert self.builder is not None
@@ -505,6 +536,7 @@ class Executor:
         # Routes through the validating knobs so an invalid morsel_rows or
         # cache_budget_bytes in the options fails here, not mid-query.
         self.configure_morsels(self.options.morsel_rows)
+        self.configure_workers(self.options.workers)
         if query_cache is not None:
             # A server-owned shared cache (multi-tenant serving): its owner
             # wires catalog invalidation exactly once and owns the budget /
@@ -547,6 +579,23 @@ class Executor:
             raise ValueError("morsel_rows must be positive or None")
         self.options = replace(self.options, morsel_rows=morsel_rows)
         self.scheduler.morsel_rows = morsel_rows
+
+    def configure_workers(self, workers: int | str | None) -> None:
+        """Re-tune the worker count (the ``workers`` knob).
+
+        ``1`` runs everything inline on the calling thread (the exact
+        pre-pool code path); ``"auto"`` resolves to the machine's CPU
+        count; ``None`` defers to the ``REPRO_WORKERS`` environment
+        variable (else 1).  Wall-clock only: worker threads execute pure
+        morsel transforms and partition passes, while all merging, stat
+        accumulation and simulated-time charging stays on the query
+        thread in canonical plan order — so results, simulated seconds,
+        device busy times and cache counters are bit-identical at every
+        worker count.
+        """
+        count = resolve_workers(workers)
+        self.options = replace(self.options, workers=count)
+        self.pool = WorkerPool(count, tier="kernel")
 
     def configure_cache(self, cache_budget_bytes: int | None) -> None:
         """Re-tune the session cache budget (``cache_budget_bytes`` knob).
@@ -805,16 +854,43 @@ class Executor:
         consuming concatenation to keep the materialization spike near the
         output's own size.  Returns the boundary columns plus the
         per-stage stats records the cost replay (and warm runs) need.
+
+        With ``workers > 1`` the morsel stream is split into at most
+        ``workers`` contiguous chunks and each chunk flows through the
+        (pure) stage transforms on a pool thread.  Determinism contract:
+        chunk results come back in morsel order, stage contributions are
+        absorbed on this thread in morsel order, and everything a stage
+        does besides transforming — kernel bookkeeping in ``begin``, the
+        morsel grant, GPU capacity checks — already happened here.  The
+        boundary batch and the per-stage records are therefore
+        bit-identical at every worker count.
         """
         for stage in stages:
             stage.begin(self)
         morsel_rows = self.scheduler.grant(source.num_rows)
+        morsels = [dict(morsel.columns)
+                   for morsel in iter_morsels(source.columns, morsel_rows)]
+
+        def run_span(span: range) -> tuple[list[ArrayMap], list[list]]:
+            outs: list[ArrayMap] = []
+            contributions: list[list] = []
+            for index in span:
+                batch = morsels[index]
+                per_stage = []
+                for stage in stages:
+                    batch, contribution = stage.transform(batch)
+                    per_stage.append(contribution)
+                outs.append(batch)
+                contributions.append(per_stage)
+            return outs, contributions
+
         parts: list[ArrayMap] = []
-        for morsel in iter_morsels(source.columns, morsel_rows):
-            batch: ArrayMap = dict(morsel.columns)
-            for stage in stages:
-                batch = stage.process(batch)
-            parts.append(batch)
+        for outs, contributions in self.pool.map_ordered(
+                run_span, self.pool.chunks(len(morsels))):
+            parts.extend(outs)
+            for per_stage in contributions:
+                for stage, contribution in zip(stages, per_stage):
+                    stage.absorb(contribution)
         columns = concat_columns(parts, consume=True)
         return columns, tuple(stage.finish() for stage in stages)
 
@@ -1172,7 +1248,7 @@ class Executor:
                     spec=cpus[0].spec,
                     morsel_rows=self.scheduler.grant(build.num_rows,
                                                      probe.num_rows),
-                    output_order=self._join_order(node)),
+                    output_order=self._join_order(node), pool=self.pool),
                 tuning=tag)
             cost = estimate_cpu_radix_join(stats, cpus[0])
             ready = self._charge_parallel(
@@ -1200,7 +1276,7 @@ class Executor:
                     spec=gpus[0].spec,
                     morsel_rows=self.scheduler.grant(build.num_rows,
                                                      probe.num_rows),
-                    output_order=self._join_order(node)),
+                    output_order=self._join_order(node), pool=self.pool),
                 tuning=tag)
             cost = estimate_gpu_partitioned_join(stats, gpus[0])
             ready = self._charge_parallel(

@@ -58,6 +58,7 @@ Two properties the rest of the engine relies on:
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Hashable, Mapping
@@ -181,10 +182,19 @@ class QueryCache:
     whatever the kernel returned.  The cache never re-derives anything; it
     only retains, evicts (LRU under ``budget_bytes``) and invalidates
     (:meth:`invalidate_table`, driven by catalog subscriptions).
+
+    **Thread safety.**  Every mutating or compound operation holds one
+    re-entrant lock: worker-driven serving executes tenant queries (and
+    therefore cache lookups, inserts and catalog-driven invalidations)
+    from multiple threads against one shared cache.  The lock makes each
+    get/put/invalidate atomic — counters always reconcile exactly
+    (``lookups == hits + misses``; bytes match the live entries) no matter
+    how calls interleave.
     """
 
     def __init__(self, budget_bytes: int | None = DEFAULT_CACHE_BUDGET_BYTES,
                  *, policy: str = "lru") -> None:
+        self._lock = threading.RLock()
         self._entries: OrderedDict[Hashable, _Entry] = OrderedDict()
         self._bytes_used = 0
         self._counters = CacheCounters()
@@ -230,26 +240,28 @@ class QueryCache:
 
     def stats(self) -> QueryCacheStats:
         """Counters plus occupancy, as one frozen snapshot."""
-        counters = self._counters
-        return QueryCacheStats(
-            hits=counters.hits, misses=counters.misses,
-            evicted=counters.evicted, invalidated=counters.invalidated,
-            entries=len(self._entries), bytes_used=self._bytes_used,
-            budget_bytes=self.budget_bytes,
-        )
+        with self._lock:
+            counters = self._counters
+            return QueryCacheStats(
+                hits=counters.hits, misses=counters.misses,
+                evicted=counters.evicted, invalidated=counters.invalidated,
+                entries=len(self._entries), bytes_used=self._bytes_used,
+                budget_bytes=self.budget_bytes,
+            )
 
     # ------------------------------------------------------------------
     # The cache protocol
     # ------------------------------------------------------------------
     def get(self, key: Hashable) -> object | None:
         """Look up a kernel result; counts a hit or a miss."""
-        entry = self._entries.get(key)
-        if entry is None:
-            self._counters = self._bump(misses=1)
-            return None
-        self._entries.move_to_end(key)
-        self._counters = self._bump(hits=1)
-        return entry.value
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self._counters = self._bump(misses=1)
+                return None
+            self._entries.move_to_end(key)
+            self._counters = self._bump(hits=1)
+            return entry.value
 
     def put(self, key: Hashable, value: object, *, nbytes: int,
             tables: frozenset[str] = frozenset(),
@@ -263,19 +275,21 @@ class QueryCache:
         counted as evicted) rather than flushing every other entry for an
         insert that could never fit.
         """
-        if not self.enabled:
-            return
-        if self.budget_bytes is not None and nbytes > self.budget_bytes:
-            self._counters = self._bump(evicted=1)
-            return
-        freeze_result(value)
-        old = self._entries.pop(key, None)
-        if old is not None:
-            self._bytes_used -= old.nbytes
-        self._entries[key] = _Entry(value, nbytes=int(nbytes), tables=tables,
-                                    cost_seconds=float(cost_seconds))
-        self._bytes_used += int(nbytes)
-        self._evict_to_budget()
+        with self._lock:
+            if not self.enabled:
+                return
+            if self.budget_bytes is not None and nbytes > self.budget_bytes:
+                self._counters = self._bump(evicted=1)
+                return
+            freeze_result(value)
+            old = self._entries.pop(key, None)
+            if old is not None:
+                self._bytes_used -= old.nbytes
+            self._entries[key] = _Entry(value, nbytes=int(nbytes),
+                                        tables=tables,
+                                        cost_seconds=float(cost_seconds))
+            self._bytes_used += int(nbytes)
+            self._evict_to_budget()
 
     def invalidate_table(self, name: str) -> int:
         """Discard every entry whose subplan read ``name``.
@@ -285,14 +299,15 @@ class QueryCache:
         results that depended on the changed table — entries over other
         tables stay warm.  Returns how many entries were discarded.
         """
-        stale = [key for key, entry in self._entries.items()
-                 if name in entry.tables]
-        for key in stale:
-            entry = self._entries.pop(key)
-            self._bytes_used -= entry.nbytes
-        if stale:
-            self._counters = self._bump(invalidated=len(stale))
-        return len(stale)
+        with self._lock:
+            stale = [key for key, entry in self._entries.items()
+                     if name in entry.tables]
+            for key in stale:
+                entry = self._entries.pop(key)
+                self._bytes_used -= entry.nbytes
+            if stale:
+                self._counters = self._bump(invalidated=len(stale))
+            return len(stale)
 
     def set_policy(self, policy: str) -> None:
         """Re-tune the eviction policy (the ``cache_eviction`` knob).
@@ -301,7 +316,8 @@ class QueryCache:
         switching policy, and retained entries keep their recorded
         recompute costs.
         """
-        self.policy = self._validate_policy(policy)
+        with self._lock:
+            self.policy = self._validate_policy(policy)
 
     def set_budget(self, budget_bytes: int | None) -> None:
         """Re-tune the byte budget, evicting down to it immediately.
@@ -309,13 +325,14 @@ class QueryCache:
         ``0`` disables cross-query caching (drops everything, counted as
         evictions); ``None`` lifts the bound entirely.
         """
-        self.budget_bytes = self._validate_budget(budget_bytes)
-        if self.budget_bytes == 0 and self._entries:
-            self._counters = self._bump(evicted=len(self._entries))
-            self._entries.clear()
-            self._bytes_used = 0
-            return
-        self._evict_to_budget()
+        with self._lock:
+            self.budget_bytes = self._validate_budget(budget_bytes)
+            if self.budget_bytes == 0 and self._entries:
+                self._counters = self._bump(evicted=len(self._entries))
+                self._entries.clear()
+                self._bytes_used = 0
+                return
+            self._evict_to_budget()
 
     def clear(self) -> None:
         """Drop every entry without touching the counters.
@@ -324,8 +341,9 @@ class QueryCache:
         long-lived engine) — unlike eviction/invalidation this is not an
         observable cache event.
         """
-        self._entries.clear()
-        self._bytes_used = 0
+        with self._lock:
+            self._entries.clear()
+            self._bytes_used = 0
 
     # ------------------------------------------------------------------
     def _evict_to_budget(self) -> None:

@@ -136,6 +136,15 @@ class HAPEEngine:
         Victim-selection policy of the query cache: ``"lru"`` (default)
         or ``"cost"`` (evict the lowest recompute-cost-per-byte entry
         first).  Wall-clock only, like the budget.
+    workers:
+        Worker threads driving fused-chain morsel streams and radix
+        partition passes (:mod:`repro.engine.workers`): ``1`` runs
+        everything inline (the exact single-threaded path), ``"auto"``
+        uses the machine's CPU count, and when the knob is not passed the
+        ``REPRO_WORKERS`` environment variable decides (else 1).
+        Wall-clock only — results, simulated seconds, device busy times
+        and cache counters are bit-identical at every worker count.
+        Overrides ``executor_options.workers`` when both are given.
     catalog / query_cache:
         Normally omitted — the session owns a private catalog and cache.
         A :class:`~repro.server.QueryServer` passes its *shared* catalog
@@ -152,6 +161,7 @@ class HAPEEngine:
                  cache_budget_bytes: int | None = _UNSET,  # type: ignore[assignment]
                  pipeline_fusion: bool = _UNSET,  # type: ignore[assignment]
                  cache_eviction: str = _UNSET,  # type: ignore[assignment]
+                 workers: int | str | None = _UNSET,  # type: ignore[assignment]
                  catalog: Catalog | None = None,
                  query_cache=None,
                  ) -> None:
@@ -177,6 +187,8 @@ class HAPEEngine:
             self.executor.configure_fusion(pipeline_fusion)
         if cache_eviction is not _UNSET:
             self.executor.configure_eviction(cache_eviction)
+        if workers is not _UNSET:
+            self.executor.configure_workers(workers)
 
     # ------------------------------------------------------------------
     # Session knobs
@@ -245,6 +257,24 @@ class HAPEEngine:
     @pipeline_fusion.setter
     def pipeline_fusion(self, value: bool) -> None:
         self.executor.configure_fusion(value)
+
+    @property
+    def workers(self) -> int:
+        """Worker threads for data-parallel execution (default 1).
+
+        The resolved concrete count: assigning ``"auto"`` reads back as
+        the machine's CPU count.  ``1`` runs everything inline on the
+        calling thread — the exact single-threaded code path.  Assigning
+        re-tunes the executor in place, so the knob can be swept within
+        one session; results, simulated timings, device busy times and
+        cache counters are bit-identical at every setting (see
+        :mod:`repro.engine.workers` for the determinism contract).
+        """
+        return self.executor.options.workers
+
+    @workers.setter
+    def workers(self, value: int | str | None) -> None:
+        self.executor.configure_workers(value)
 
     @property
     def cache_stats(self) -> QueryCacheStats:

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import dataclasses
 import enum
+import threading
 from dataclasses import dataclass
 
 from .clock import SimClock, TaskRecord
@@ -34,16 +35,33 @@ class DeviceHealth(enum.Enum):
 
 
 class Device:
-    """One compute device of the simulated heterogeneous server."""
+    """One compute device of the simulated heterogeneous server.
+
+    The simulated clock (and the memory pool's usage ledger) are
+    **thread-local**: each thread charging the device sees its own
+    simulated-seconds ledger, so concurrent per-tenant query executions
+    on a shared topology produce exactly the timings they would produce
+    running alone.  Spec, cost model and health are shared — fault
+    injection is a topology-wide event every thread must observe.
+    """
 
     def __init__(self, spec: DeviceSpec, *, numa_node: int = 0) -> None:
         self.spec = spec
         self.numa_node = numa_node
         self.memory = MemoryPool(spec.name, spec.memory_capacity_bytes)
         self.cost = CostModel(spec)
-        self.clock = SimClock(spec.name)
+        self._local = threading.local()
         self.health = DeviceHealth.HEALTHY
         self._nominal_memory_bytes = int(spec.memory_capacity_bytes)
+
+    @property
+    def clock(self) -> SimClock:
+        """This thread's simulated clock for the device."""
+        clock = getattr(self._local, "clock", None)
+        if clock is None:
+            clock = SimClock(self.spec.name)
+            self._local.clock = clock
+        return clock
 
     def __repr__(self) -> str:  # pragma: no cover - debug helper
         return f"Device({self.spec.name!r}, kind={self.spec.kind.value})"

@@ -11,6 +11,7 @@ scale by 1.7x in Figure 7.
 from __future__ import annotations
 
 import dataclasses
+import threading
 from dataclasses import dataclass
 
 from .clock import SimClock, TaskRecord
@@ -20,18 +21,33 @@ _GIB = 1024.0 ** 3
 
 
 class Link:
-    """A physical interconnect link (PCIe bus, QPI) between two endpoints."""
+    """A physical interconnect link (PCIe bus, QPI) between two endpoints.
+
+    Clock and byte counter are **thread-local**, like
+    :class:`~repro.hardware.device.Device` clocks: concurrent per-tenant
+    query executions each account the link as if they ran alone, so
+    per-query ``link_bytes`` and timings are bit-identical to solo runs.
+    The spec (bandwidth, fault-injected degradation) is shared.
+    """
 
     def __init__(self, spec: LinkSpec, endpoint_a: str, endpoint_b: str) -> None:
         self.spec = spec
         self.endpoint_a = endpoint_a
         self.endpoint_b = endpoint_b
-        self.clock = SimClock(spec.name)
-        self._bytes_moved = 0
+        self._local = threading.local()
         self._nominal_bandwidth_gib_s = float(spec.bandwidth_gib_s)
 
     def __repr__(self) -> str:  # pragma: no cover - debug helper
         return f"Link({self.spec.name!r}, {self.endpoint_a!r}<->{self.endpoint_b!r})"
+
+    @property
+    def clock(self) -> SimClock:
+        """This thread's simulated clock for the link."""
+        clock = getattr(self._local, "clock", None)
+        if clock is None:
+            clock = SimClock(self.spec.name)
+            self._local.clock = clock
+        return clock
 
     @property
     def name(self) -> str:
@@ -39,8 +55,8 @@ class Link:
 
     @property
     def bytes_moved(self) -> int:
-        """Total bytes that crossed this link so far."""
-        return self._bytes_moved
+        """Bytes that crossed this link so far (this thread's ledger)."""
+        return getattr(self._local, "bytes_moved", 0)
 
     def connects(self, node_a: str, node_b: str) -> bool:
         """Whether this link directly connects the two named nodes."""
@@ -56,7 +72,7 @@ class Link:
     def transfer(self, nbytes: int, *, earliest: float = 0.0,
                  label: str = "transfer") -> TaskRecord:
         """Schedule a transfer on the link's clock and account the bytes."""
-        self._bytes_moved += max(int(nbytes), 0)
+        self._local.bytes_moved = self.bytes_moved + max(int(nbytes), 0)
         return self.clock.reserve(
             self.transfer_time(nbytes), earliest=earliest, label=label
         )
@@ -83,7 +99,7 @@ class Link:
 
     def reset(self) -> None:
         self.clock.reset()
-        self._bytes_moved = 0
+        self._local.bytes_moved = 0
 
 
 @dataclass(frozen=True)

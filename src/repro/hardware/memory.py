@@ -11,6 +11,7 @@ of silently succeeding.
 from __future__ import annotations
 
 import itertools
+import threading
 from dataclasses import dataclass, field
 
 from ..errors import OutOfDeviceMemoryError
@@ -41,40 +42,65 @@ class Allocation:
         self.free()
 
 
+class _PoolState:
+    """Per-thread usage ledger of one :class:`MemoryPool`."""
+
+    __slots__ = ("used_bytes", "live", "peak_bytes")
+
+    def __init__(self) -> None:
+        self.used_bytes = 0
+        self.live: dict[int, Allocation] = {}
+        self.peak_bytes = 0
+
+
 class MemoryPool:
-    """Tracks used/free bytes of one memory node (DRAM socket or GPU)."""
+    """Tracks used/free bytes of one memory node (DRAM socket or GPU).
+
+    The usage ledger is **thread-local**: the engine's transient
+    capacity-check allocations always free on the thread that made them,
+    and concurrent per-tenant query executions (server worker threads)
+    each simulate the device memory as if they ran alone — which is what
+    keeps their OOM behavior and peak accounting bit-identical to solo
+    runs.  The capacity itself is shared (fault injection shrinking a
+    device is visible to every thread).
+    """
 
     def __init__(self, owner: str, capacity_bytes: int) -> None:
         if capacity_bytes <= 0:
             raise ValueError("memory pool needs a positive capacity")
         self.owner = owner
         self.capacity_bytes = int(capacity_bytes)
-        self._used_bytes = 0
-        self._live: dict[int, Allocation] = {}
-        self._peak_bytes = 0
+        self._local = threading.local()
+
+    def _state(self) -> _PoolState:
+        state = getattr(self._local, "state", None)
+        if state is None:
+            state = _PoolState()
+            self._local.state = state
+        return state
 
     def __repr__(self) -> str:  # pragma: no cover - debug helper
         return (
-            f"MemoryPool({self.owner!r}, used={self._used_bytes}, "
+            f"MemoryPool({self.owner!r}, used={self.used_bytes}, "
             f"capacity={self.capacity_bytes})"
         )
 
     @property
     def used_bytes(self) -> int:
-        return self._used_bytes
+        return self._state().used_bytes
 
     @property
     def free_bytes(self) -> int:
-        return self.capacity_bytes - self._used_bytes
+        return self.capacity_bytes - self.used_bytes
 
     @property
     def peak_bytes(self) -> int:
         """High-water mark of concurrent usage."""
-        return self._peak_bytes
+        return self._state().peak_bytes
 
     @property
     def live_allocations(self) -> tuple[Allocation, ...]:
-        return tuple(self._live.values())
+        return tuple(self._state().live.values())
 
     def can_fit(self, nbytes: int) -> bool:
         """Whether ``nbytes`` could currently be allocated."""
@@ -85,18 +111,21 @@ class MemoryPool:
         nbytes = int(nbytes)
         if nbytes < 0:
             raise ValueError("cannot allocate a negative number of bytes")
-        if nbytes > self.free_bytes:
-            raise OutOfDeviceMemoryError(self.owner, nbytes, self.free_bytes)
+        state = self._state()
+        if nbytes > self.capacity_bytes - state.used_bytes:
+            raise OutOfDeviceMemoryError(
+                self.owner, nbytes, self.capacity_bytes - state.used_bytes)
         allocation = Allocation(pool=self, nbytes=nbytes, label=label)
-        self._live[allocation.allocation_id] = allocation
-        self._used_bytes += nbytes
-        self._peak_bytes = max(self._peak_bytes, self._used_bytes)
+        state.live[allocation.allocation_id] = allocation
+        state.used_bytes += nbytes
+        state.peak_bytes = max(state.peak_bytes, state.used_bytes)
         return allocation
 
     def _release(self, allocation: Allocation) -> None:
-        if allocation.allocation_id in self._live:
-            del self._live[allocation.allocation_id]
-            self._used_bytes -= allocation.nbytes
+        state = self._state()
+        if allocation.allocation_id in state.live:
+            del state.live[allocation.allocation_id]
+            state.used_bytes -= allocation.nbytes
 
     def resize(self, capacity_bytes: int) -> None:
         """Change the pool capacity in place (fault injection: memory loss).
@@ -112,10 +141,14 @@ class MemoryPool:
         self.capacity_bytes = capacity_bytes
 
     def release_all(self) -> None:
-        """Free every live allocation (used between benchmark repetitions)."""
-        for allocation in list(self._live.values()):
+        """Free every live allocation (used between benchmark repetitions).
+
+        Thread-local like the ledger: each thread releases its own
+        allocations (an execute's reset cannot drop another tenant's).
+        """
+        for allocation in list(self._state().live.values()):
             allocation.free()
 
     def utilization(self) -> float:
         """Fraction of the capacity currently in use."""
-        return self._used_bytes / self.capacity_bytes
+        return self.used_bytes / self.capacity_bytes

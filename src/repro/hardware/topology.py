@@ -9,6 +9,7 @@ plan broadcasts with minimal copies) is plain shortest-path computation.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import replace
 from typing import Callable, Mapping, Sequence
 
@@ -37,25 +38,36 @@ class OccupancyBoard:
     reserves each resource for the busy seconds a query's execution
     charged to it, so board contention mirrors what the per-query
     timelines measured.
+
+    The board is shared mutable state across serving worker threads, so
+    every compound operation (on-demand clock creation, the
+    read-availability-then-reserve sequence of :meth:`reserve`) holds one
+    re-entrant lock.  Note that SimClock list scheduling makes the
+    *order* of reservations observable — deterministic serving therefore
+    keeps all :meth:`reserve` calls on the coordinating thread in
+    canonical dispatch order; the lock protects integrity, not ordering.
     """
 
     def __init__(self, known: Callable[[str], bool]) -> None:
         self._known = known
         self._clocks: dict[str, SimClock] = {}
+        self._lock = threading.RLock()
 
     def clock(self, resource: str) -> SimClock:
         """The server-time ledger of one resource (created on demand)."""
-        if resource not in self._clocks:
-            if not self._known(resource):
-                raise UnknownDeviceError(
-                    f"unknown resource {resource!r} for occupancy tracking")
-            self._clocks[resource] = SimClock(resource)
-        return self._clocks[resource]
+        with self._lock:
+            if resource not in self._clocks:
+                if not self._known(resource):
+                    raise UnknownDeviceError(
+                        f"unknown resource {resource!r} for occupancy tracking")
+                self._clocks[resource] = SimClock(resource)
+            return self._clocks[resource]
 
     def available_at(self, resources: Sequence[str]) -> float:
         """Earliest server time at which *all* given resources are free."""
-        return max((self.clock(name).available_at for name in resources),
-                   default=0.0)
+        with self._lock:
+            return max((self.clock(name).available_at for name in resources),
+                       default=0.0)
 
     def reserve(self, resources: Mapping[str, float], *,
                 earliest: float = 0.0, label: str = "query") -> float:
@@ -66,12 +78,15 @@ class OccupancyBoard:
         each resource is then occupied for its own duration, so a
         PCIe-bound query frees the GPU clock early while a saturating scan
         holds its CPUs to the end.  Returns the common start time.
+        Atomic: no other thread can reserve between the availability read
+        and the reservations.
         """
-        start = max(self.available_at(tuple(resources)), earliest)
-        for name, duration in resources.items():
-            self.clock(name).reserve(float(duration), earliest=start,
-                                     label=label)
-        return start
+        with self._lock:
+            start = max(self.available_at(tuple(resources)), earliest)
+            for name, duration in resources.items():
+                self.clock(name).reserve(float(duration), earliest=start,
+                                         label=label)
+            return start
 
     def busy_time(self, resource: str) -> float:
         return self.clock(resource).busy_time
@@ -79,13 +94,15 @@ class OccupancyBoard:
     @property
     def makespan(self) -> float:
         """Latest reservation end across every tracked resource."""
-        return max((clock.available_at for clock in self._clocks.values()),
-                   default=0.0)
+        with self._lock:
+            return max((clock.available_at for clock in self._clocks.values()),
+                       default=0.0)
 
     def clear(self) -> None:
         """Forget every reservation (a new serving epoch)."""
-        for clock in self._clocks.values():
-            clock.reset()
+        with self._lock:
+            for clock in self._clocks.values():
+                clock.reset()
 
 
 class Topology:

@@ -53,6 +53,7 @@ analytic models reuse the exact same costing code.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from typing import Mapping
 
@@ -62,22 +63,29 @@ ArrayMap = dict[str, np.ndarray]
 
 #: Number of functional-kernel invocations per kernel name since the last
 #: :func:`reset_kernel_counts` call.  Cost estimators never show up here.
+#: Guarded by a lock: single-pass partition kernels run on worker-pool
+#: threads, and counts are order-independent sums, so locked increments
+#: keep the totals exact at every worker count.
 _KERNEL_COUNTS: dict[str, int] = {}
+_KERNEL_COUNTS_LOCK = threading.Lock()
 
 
 def record_kernel_invocation(name: str) -> None:
     """Count one functional-kernel execution (for single-evaluation tests)."""
-    _KERNEL_COUNTS[name] = _KERNEL_COUNTS.get(name, 0) + 1
+    with _KERNEL_COUNTS_LOCK:
+        _KERNEL_COUNTS[name] = _KERNEL_COUNTS.get(name, 0) + 1
 
 
 def kernel_counts() -> dict[str, int]:
     """Snapshot of the per-kernel invocation counters."""
-    return dict(_KERNEL_COUNTS)
+    with _KERNEL_COUNTS_LOCK:
+        return dict(_KERNEL_COUNTS)
 
 
 def reset_kernel_counts() -> None:
     """Zero the per-kernel invocation counters."""
-    _KERNEL_COUNTS.clear()
+    with _KERNEL_COUNTS_LOCK:
+        _KERNEL_COUNTS.clear()
 
 
 @dataclass

@@ -168,6 +168,7 @@ def gpu_partitioned_join_kernel(
         spec: DeviceSpec,
         morsel_rows: int | None = None,
         output_order: str | None = "probe",
+        pool=None,
 ) -> tuple[ArrayMap, GpuJoinStats]:
     """Evaluate the in-GPU partitioned join once.
 
@@ -183,6 +184,10 @@ def gpu_partitioned_join_kernel(
     :func:`repro.operators.radix.cpu_radix_join_kernel`; the co-processed
     join passes ``None`` (it canonicalizes the merged result itself) and
     every byte-based stat ignores the bookkeeping columns either way.
+
+    ``pool`` parallelizes the partition passes (see
+    :func:`repro.operators.radix.partition_by_plan_kernel`); results are
+    bit-identical at every worker count.
     """
     record_kernel_invocation("gpu_partitioned_join")
     _validate_output_order(output_order)
@@ -201,14 +206,15 @@ def gpu_partitioned_join_kernel(
 
     plan = plan_partition_passes(max(build_rows, 1), HASH_ENTRY_BYTES, spec)
     build_parts, build_run = partition_by_plan_kernel(build, key="__key",
-                                                      plan=plan)
+                                                      plan=plan, pool=pool)
     probe_plan = PartitionPlan(
         device_kind=plan.device_kind, tuple_bytes=plan.tuple_bytes,
         input_tuples=max(probe_rows, 1),
         fanout_per_pass=plan.fanout_per_pass,
         target_partition_tuples=plan.target_partition_tuples)
     probe_parts, probe_run = partition_by_plan_kernel(probe, key="__key",
-                                                      plan=probe_plan)
+                                                      plan=probe_plan,
+                                                      pool=pool)
 
     outputs: list[ArrayMap] = []
     for build_part, probe_part in zip(build_parts, probe_parts):

@@ -252,19 +252,33 @@ def radix_partition(columns: Mapping[str, np.ndarray], device: Device, *,
 
 def partition_by_plan_kernel(
         columns: Mapping[str, np.ndarray], *,
-        key: str, plan: PartitionPlan,
+        key: str, plan: PartitionPlan, pool=None,
 ) -> tuple[list[ArrayMap], PartitionRunStats]:
-    """Apply every pass of a :class:`PartitionPlan`, recording run stats."""
+    """Apply every pass of a :class:`PartitionPlan`, recording run stats.
+
+    ``pool`` (a :class:`repro.engine.workers.WorkerPool`-shaped object, or
+    ``None`` for inline execution) parallelizes the independent chunk
+    partitionings *within* one pass.  Determinism contract: chunks are
+    submitted in level order and merged back in submission order, and the
+    ``calls`` record is written on the calling thread in that same order
+    — partitions, stats and therefore replayed costs are bit-identical at
+    every worker count.
+    """
     tuple_bytes = partition_tuple_bytes(columns)
     calls: list[tuple[int, int]] = []
     current = [dict(columns)]
     for fanout in plan.fanout_per_pass:
-        next_level: list[ArrayMap] = []
-        for chunk in current:
-            calls.append((columns_num_rows(chunk), fanout))
-            next_level.extend(radix_partition_kernel(chunk, key=key,
-                                                     fanout=fanout))
-        current = next_level
+        calls.extend((columns_num_rows(chunk), fanout) for chunk in current)
+        if pool is not None and pool.parallel and len(current) > 1:
+            partitioned = pool.map_ordered(
+                lambda chunk: radix_partition_kernel(chunk, key=key,
+                                                     fanout=fanout),
+                current)
+        else:
+            partitioned = [radix_partition_kernel(chunk, key=key,
+                                                  fanout=fanout)
+                           for chunk in current]
+        current = [part for buckets in partitioned for part in buckets]
     return current, PartitionRunStats(tuple_bytes=tuple_bytes,
                                       calls=tuple(calls))
 
@@ -342,6 +356,7 @@ def cpu_radix_join_kernel(
         spec: DeviceSpec,
         morsel_rows: int | None = None,
         output_order: str | None = "probe",
+        pool=None,
 ) -> tuple[ArrayMap, CpuRadixJoinStats]:
     """Evaluate the partitioned CPU join once.
 
@@ -362,6 +377,10 @@ def cpu_radix_join_kernel(
     once at the end; ``None`` leaves the bucket-major implementation order
     (the co-processed join canonicalizes at its own level).  Stats are
     identical for every setting.
+
+    ``pool`` parallelizes the partition passes (see
+    :func:`partition_by_plan_kernel`); results are bit-identical at every
+    worker count.
     """
     record_kernel_invocation("cpu_radix_join")
     _validate_output_order(output_order)
@@ -380,14 +399,15 @@ def cpu_radix_join_kernel(
     tuple_bytes = HASH_ENTRY_BYTES
     plan = plan_partition_passes(max(build_rows, 1), tuple_bytes, spec)
     build_parts, build_run = partition_by_plan_kernel(build, key="__key",
-                                                      plan=plan)
+                                                      plan=plan, pool=pool)
     probe_plan = PartitionPlan(
         device_kind=plan.device_kind, tuple_bytes=tuple_bytes,
         input_tuples=max(probe_rows, 1),
         fanout_per_pass=plan.fanout_per_pass,
         target_partition_tuples=plan.target_partition_tuples)
     probe_parts, probe_run = partition_by_plan_kernel(probe, key="__key",
-                                                      plan=probe_plan)
+                                                      plan=probe_plan,
+                                                      pool=pool)
 
     columns = _join_copartitions(build_parts, probe_parts, build, probe)
     if output_order is not None:

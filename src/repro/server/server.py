@@ -16,10 +16,15 @@ Two invariants carry over unchanged from the single-session engine:
   busy times and link bytes are bit-identical to running it alone in a
   private session — concurrency only adds *queue wait* and changes server
   wall-clock, never a query's own simulated execution.
-* **Functional determinism.**  The serving loop is single-threaded and
-  event-driven over simulated server time, so interleaved multi-tenant
-  runs return exactly the tables a serial run returns, in a reproducible
-  order.
+* **Functional determinism.**  The serving loop is event-driven over
+  simulated server time and coordinated from one thread, so interleaved
+  multi-tenant runs return exactly the tables a serial run returns, in a
+  reproducible order.  With ``workers > 1`` admitted queries from
+  *different tenants* execute genuinely concurrently on worker threads —
+  per-query simulated time stays bit-identical (hardware clocks and
+  memory ledgers are thread-local), and all scheduling (admission picks,
+  occupancy reservations, completion processing) stays on the
+  coordinating thread in canonical pick order.
 
 The server is also *fault tolerant*: a :class:`~repro.faults.FaultPlan`
 (or an organic failure such as
@@ -53,6 +58,7 @@ import numpy as np
 
 from ..engine.querycache import CacheCounters, QueryCacheStats
 from ..engine.session import HAPEEngine, QueryResult
+from ..engine.workers import WorkerPool, resolve_workers
 from ..errors import (
     AdmissionError,
     DeviceUnavailableError,
@@ -309,6 +315,15 @@ class QueryServer:
         Circuit-breaker tuning: a device failing this many consecutive
         attempts is marked failed and probed for recovery after the
         cooldown elapses in server time.
+    workers:
+        Worker threads the drain uses to execute admitted queries from
+        different tenants concurrently (``"auto"`` = CPU count).  The
+        default ``1`` keeps the fully serial drain.  Functional results
+        and per-query simulated seconds are identical either way; shared
+        cache hit/miss *attribution* can shift under true concurrency
+        (two tenants racing to compute the same kernel both count a
+        miss), so workloads asserting exact cache counters should keep
+        the default.
     """
 
     def __init__(self, topology: Topology | None = None, *,
@@ -318,7 +333,8 @@ class QueryServer:
                  fault_plan: FaultPlan | None = None,
                  retry_policy: RetryPolicy | None = None,
                  breaker_threshold: int = 3,
-                 breaker_cooldown_seconds: float = 1.0) -> None:
+                 breaker_cooldown_seconds: float = 1.0,
+                 workers: int | str = 1) -> None:
         self.topology = topology if topology is not None else default_server()
         self.catalog = Catalog()
         if cache_budget_bytes is None:
@@ -336,6 +352,8 @@ class QueryServer:
         self.retry_policy = retry_policy or RetryPolicy()
         self.breaker_threshold = breaker_threshold
         self.breaker_cooldown_seconds = breaker_cooldown_seconds
+        self.workers = resolve_workers(workers)
+        self._pool = WorkerPool(self.workers, tier="server")
         self._retry_policies: dict[str, RetryPolicy] = {}
         self._sessions: dict[str, HAPEEngine] = {}
         self._ticket_ids = itertools.count(1)
@@ -502,12 +520,15 @@ class QueryServer:
         now = 0.0
         self._apply_faults(now, completions)
         while True:
-            while True:
-                pick = self.admission.next_admissible(now)
-                if pick is None:
-                    break
-                tenant, ticket, _ = pick
-                self._dispatch(tenant, ticket, now, completions)
+            if self._pool.parallel:
+                self._dispatch_admissible_parallel(now, completions)
+            else:
+                while True:
+                    pick = self.admission.next_admissible(now)
+                    if pick is None:
+                        break
+                    tenant, ticket, _ = pick
+                    self._dispatch(tenant, ticket, now, completions)
             events = []
             while completions and completions[0][2].cancelled:
                 heapq.heappop(completions)
@@ -572,6 +593,25 @@ class QueryServer:
             return
         ticket.attempts += 1
         ticket.status = "running"
+        result, cache_delta, error = self._execute_attempt(tenant, ticket)
+        if error is not None:
+            # Planning/allocation failures strike before any simulated
+            # work: the attempt burns no device time, only its slot.
+            self.admission.on_finish(tenant, ticket.estimated_bytes)
+            self._route_failure(ticket, now, error)
+            return
+        self._enqueue_attempt(tenant, ticket, now, completions,
+                              result, cache_delta)
+
+    def _execute_attempt(self, tenant: str, ticket: QueryTicket) -> tuple[
+            QueryResult | None, CacheCounters | None, ReproError | None]:
+        """Functionally execute one attempt (safe off the drain thread).
+
+        Touches only thread-safe state: the tenant's session (one thread
+        runs a given tenant at a time), the shared cache and the
+        catalog.  No admission, occupancy or ticket bookkeeping happens
+        here — that stays on the coordinating thread.
+        """
         session = self.session(tenant)
         # Per-ticket cache counters come from the shared cache's
         # tenant-scoped attribution, not the executor's session-level
@@ -583,14 +623,19 @@ class QueryServer:
             with self.query_cache.tenant(tenant):
                 result = session.execute(ticket.plan, ticket.current_mode)
         except ReproError as error:
-            # Planning/allocation failures strike before any simulated
-            # work: the attempt burns no device time, only its slot.
-            self.admission.on_finish(tenant, ticket.estimated_bytes)
-            self._route_failure(ticket, now, error)
-            return
+            return None, None, error
         after = self.query_cache.tenant_counters()[tenant]
-        cache_delta = after.since(before)
+        return result, after.since(before), None
 
+    def _enqueue_attempt(self, tenant: str, ticket: QueryTicket, now: float,
+                         completions: list, result: QueryResult,
+                         cache_delta: CacheCounters) -> None:
+        """Reserve a successfully executed attempt on the occupancy board.
+
+        Must run on the coordinating thread in canonical pick order —
+        occupancy reservations are order-sensitive (list scheduling).
+        """
+        deadline = ticket.deadline_time
         # Decide — before reserving — whether this attempt survives: an
         # injected fault may kill it mid-run, and the deadline may cut it
         # short.  The start estimate reproduces the occupancy board's own
@@ -619,6 +664,61 @@ class QueryServer:
                            fault=fault)
         heapq.heappush(completions,
                        (finish, next(self._event_seq), attempt))
+
+    def _dispatch_admissible_parallel(self, now: float,
+                                      completions: list) -> None:
+        """Drain every currently admissible pick using worker threads.
+
+        Three phases per batch, repeated until nothing is admissible:
+        bookkeeping (deadline checks, attempt counting) in pick order on
+        this thread; functional execution grouped by tenant on worker
+        threads (sessions are not reentrant, so one tenant's picks run
+        sequentially inside their group); then post-processing — failure
+        routing and occupancy reservations — back on this thread in pick
+        order, which keeps the board's order-sensitive ledgers canonical.
+        """
+        while True:
+            picks = []
+            while True:
+                pick = self.admission.next_admissible(now)
+                if pick is None:
+                    break
+                tenant, ticket, _ = pick
+                picks.append((tenant, ticket))
+            if not picks:
+                return
+            runnable = []
+            for tenant, ticket in picks:
+                deadline = ticket.deadline_time
+                if deadline is not None and now >= deadline:
+                    self.admission.on_finish(tenant, ticket.estimated_bytes)
+                    self._finalize_timeout(ticket, now)
+                    continue
+                ticket.attempts += 1
+                ticket.status = "running"
+                runnable.append((tenant, ticket))
+            groups: dict[str, list[QueryTicket]] = {}
+            for tenant, ticket in runnable:
+                groups.setdefault(tenant, []).append(ticket)
+
+            def run_group(item: tuple[str, list[QueryTicket]]) -> list:
+                tenant, tickets = item
+                return [(ticket, *self._execute_attempt(tenant, ticket))
+                        for ticket in tickets]
+
+            outcomes: dict[int, tuple] = {}
+            for group in self._pool.map_ordered(run_group,
+                                                list(groups.items())):
+                for ticket, result, cache_delta, error in group:
+                    outcomes[ticket.ticket_id] = (result, cache_delta, error)
+            for tenant, ticket in runnable:
+                result, cache_delta, error = outcomes[ticket.ticket_id]
+                if error is not None:
+                    self.admission.on_finish(tenant, ticket.estimated_bytes)
+                    self._route_failure(ticket, now, error)
+                else:
+                    self._enqueue_attempt(tenant, ticket, now, completions,
+                                          result, cache_delta)
 
     def _finish_attempt(self, attempt: _Attempt, now: float) -> None:
         """An attempt reached its end (success, injected fault, deadline)."""

@@ -18,13 +18,17 @@ kernels and who rides warm on a neighbor's working set.  Attribution never
 affects retention — budget, eviction policy and invalidation treat all
 tenants as one workload.
 
-The cache (like the whole serving loop) is single-threaded by design:
-concurrency exists in *simulated server time* on the occupancy board, so
-no locking is needed and runs stay deterministic.
+The cache is safe to share across worker threads: retention inherits the
+:class:`QueryCache` lock, the active-tenant bracket is **thread-local**
+(each server worker executes one tenant's query, so concurrent brackets
+never bleed attribution into each other) and per-tenant counter updates
+are folded in under the same lock, so counters reconcile exactly no
+matter how executions interleave.
 """
 
 from __future__ import annotations
 
+import threading
 from contextlib import contextmanager
 from typing import Hashable, Iterator
 
@@ -43,39 +47,50 @@ class SharedQueryCache(QueryCache):
                  *, policy: str = "lru") -> None:
         super().__init__(budget_bytes, policy=policy)
         self._tenant_counters: dict[str, CacheCounters] = {}
-        self._active_tenant: str | None = None
+        self._bracket = threading.local()
+
+    @property
+    def _active_tenant(self) -> str | None:
+        return getattr(self._bracket, "tenant", None)
 
     # ------------------------------------------------------------------
     @contextmanager
     def tenant(self, name: str) -> Iterator["SharedQueryCache"]:
-        """Attribute cache traffic inside the block to ``name``."""
+        """Attribute cache traffic inside the block to ``name``.
+
+        The bracket is per-thread: concurrent server workers each execute
+        inside their own tenant bracket without clobbering each other.
+        """
         previous = self._active_tenant
-        self._active_tenant = name
-        self._tenant_counters.setdefault(name, CacheCounters())
+        self._bracket.tenant = name
+        with self._lock:
+            self._tenant_counters.setdefault(name, CacheCounters())
         try:
             yield self
         finally:
-            self._active_tenant = previous
+            self._bracket.tenant = previous
 
     def get(self, key: Hashable) -> object | None:
         value = super().get(key)
         tenant = self._active_tenant
         if tenant is not None:
-            counters = self._tenant_counters.setdefault(tenant,
-                                                        CacheCounters())
-            if value is None:
-                counters = CacheCounters(
-                    hits=counters.hits, misses=counters.misses + 1,
-                    evicted=counters.evicted,
-                    invalidated=counters.invalidated)
-            else:
-                counters = CacheCounters(
-                    hits=counters.hits + 1, misses=counters.misses,
-                    evicted=counters.evicted,
-                    invalidated=counters.invalidated)
-            self._tenant_counters[tenant] = counters
+            with self._lock:
+                counters = self._tenant_counters.setdefault(tenant,
+                                                            CacheCounters())
+                if value is None:
+                    counters = CacheCounters(
+                        hits=counters.hits, misses=counters.misses + 1,
+                        evicted=counters.evicted,
+                        invalidated=counters.invalidated)
+                else:
+                    counters = CacheCounters(
+                        hits=counters.hits + 1, misses=counters.misses,
+                        evicted=counters.evicted,
+                        invalidated=counters.invalidated)
+                self._tenant_counters[tenant] = counters
         return value
 
     def tenant_counters(self) -> dict[str, CacheCounters]:
         """Per-tenant hit/miss attribution (a snapshot copy)."""
-        return dict(self._tenant_counters)
+        with self._lock:
+            return dict(self._tenant_counters)

@@ -15,6 +15,7 @@ cross-query kernel cache (:mod:`repro.engine.querycache`) relies on:
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 from typing import Callable
 
@@ -38,9 +39,19 @@ class TableStats:
 
 
 class Catalog:
-    """Registry of the tables known to an engine instance."""
+    """Registry of the tables known to an engine instance.
+
+    Thread-safe: a re-entrant lock makes each registration (version bump
+    plus listener notification) atomic, so sessions running on concurrent
+    worker threads observe table versions strictly monotonically — a
+    reader can never see the new version of a table before the
+    invalidation for the old one has been delivered.  Listeners are
+    invoked *under* the lock; they must not call back into the catalog's
+    mutating methods (the engine's cache invalidation does not).
+    """
 
     def __init__(self) -> None:
+        self._lock = threading.RLock()
         self._tables: dict[str, Table] = {}
         self._stats: dict[str, TableStats] = {}
         self._versions: dict[str, int] = {}
@@ -68,15 +79,18 @@ class Catalog:
         registration notifies nobody — no cached entry can reference a
         table that was never scannable.
         """
-        replacing = table.name in self._tables
-        if replacing and not replace:
-            raise CatalogError(f"table {table.name!r} is already registered")
-        self._tables[table.name] = table
-        self._stats[table.name] = _compute_stats(table)
-        self._versions[table.name] = self._next_version
-        self._next_version += 1
-        if replacing:
-            self._notify(table.name)
+        stats = _compute_stats(table)
+        with self._lock:
+            replacing = table.name in self._tables
+            if replacing and not replace:
+                raise CatalogError(
+                    f"table {table.name!r} is already registered")
+            self._tables[table.name] = table
+            self._stats[table.name] = stats
+            self._versions[table.name] = self._next_version
+            self._next_version += 1
+            if replacing:
+                self._notify(table.name)
 
     def table(self, name: str) -> Table:
         try:
@@ -97,13 +111,15 @@ class Catalog:
         (or dropping and registering it again) always yields a version no
         earlier registration ever had.
         """
-        self.table(name)
-        return self._versions[name]
+        with self._lock:
+            self.table(name)
+            return self._versions[name]
 
     @property
     def table_versions(self) -> dict[str, int]:
         """Snapshot of every registered table's current catalog version."""
-        return dict(self._versions)
+        with self._lock:
+            return dict(self._versions)
 
     def subscribe(self, listener: Callable[[str], None]) -> None:
         """Add an invalidation listener.
@@ -112,9 +128,12 @@ class Catalog:
         changes from a reader's point of view: a ``register(replace=True)``
         over an existing table, or a :meth:`drop`.  The engine's query
         cache subscribes to discard cached kernel results that read the
-        table.
+        table.  Delivery is atomic with the version bump that caused it
+        (both happen under the catalog lock), so a subscriber can never
+        observe a new version whose invalidation has not yet arrived.
         """
-        self._listeners.append(listener)
+        with self._lock:
+            self._listeners.append(listener)
 
     def drop(self, name: str) -> None:
         """Remove a table and notify invalidation listeners.
@@ -123,12 +142,13 @@ class Catalog:
         of the same name gets a fresh version, so caches cannot confuse
         results computed against the dropped data with the new table's.
         """
-        if name not in self._tables:
-            raise CatalogError(f"unknown table {name!r}")
-        del self._tables[name]
-        del self._stats[name]
-        del self._versions[name]
-        self._notify(name)
+        with self._lock:
+            if name not in self._tables:
+                raise CatalogError(f"unknown table {name!r}")
+            del self._tables[name]
+            del self._stats[name]
+            del self._versions[name]
+            self._notify(name)
 
     def total_bytes(self) -> int:
         """Aggregate footprint of every registered table."""

@@ -8,6 +8,7 @@ executed across the full engine configuration grid:
     device mode ∈ {cpu, gpu, hybrid}
   × morsel_rows ∈ {1, 7, engine default}
   × pipeline_fusion ∈ {off, on}
+  × workers ∈ {1, 2}
 
 with results compared *cell-exact and order-sensitive* (values, dtypes
 and row order — the engine's canonical join output order makes every plan
@@ -57,6 +58,10 @@ SEED_BASE = int(os.environ.get("FUZZ_PLAN_SEED_BASE", "20260700"))
 MODES = ("cpu", "gpu", "hybrid")
 MORSEL_SETTINGS = (1, 7, DEFAULT_MORSEL_ROWS)
 FUSION_SETTINGS = (False, True)
+#: ``morsel_rows=1`` with two workers is the nastiest determinism case:
+#: every row is its own morsel, so worker completion order is maximally
+#: decoupled from canonical plan order.
+WORKER_SETTINGS = (1, 2)
 
 #: Every third seed runs with an optimizer that prefers partitioned /
 #: co-processed joins even for tiny builds, covering the radix paths.
@@ -229,9 +234,12 @@ def engine_grid():
                    if aggressive else None)
         for fusion in FUSION_SETTINGS:
             for morsel_rows in MORSEL_SETTINGS:
-                grid[(aggressive, fusion, morsel_rows)] = HAPEEngine(
-                    default_server(), optimizer_options=options,
-                    morsel_rows=morsel_rows, pipeline_fusion=fusion)
+                for workers in WORKER_SETTINGS:
+                    grid[(aggressive, fusion, morsel_rows,
+                          workers)] = HAPEEngine(
+                        default_server(), optimizer_options=options,
+                        morsel_rows=morsel_rows, pipeline_fusion=fusion,
+                        workers=workers)
     return grid
 
 
@@ -379,11 +387,11 @@ def test_fuzzed_plan_matches_reference(engine_grid, seed):
                     f"plan:\n{case.plan.pretty()}")
     baseline_simulated: dict[str, float] = {}
     try:
-        for (_, fusion, morsel_rows), engine in engines.items():
+        for (_, fusion, morsel_rows, workers), engine in engines.items():
             for mode in MODES:
                 result = engine.execute(case.plan, mode)
                 context = (f"{context_base}\nmode={mode} fusion={fusion} "
-                           f"morsel_rows={morsel_rows}")
+                           f"morsel_rows={morsel_rows} workers={workers}")
                 _assert_cell_exact(result.table, reference, context)
                 # Simulated seconds must agree across the whole grid too.
                 simulated = baseline_simulated.setdefault(

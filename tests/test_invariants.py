@@ -1,19 +1,23 @@
-"""Engine-wide invariant matrix: (fusion × morsel size × cache warm/cold).
+"""Engine-wide invariant matrix: (workers × fusion × morsel × warm/cold).
 
 One parametrized grid replaces the ad-hoc identity checks that used to be
 scattered across ``test_morsels.py`` (morsel invariance over TPC-H) and
 ``test_query_cache.py`` (warm-vs-cold TPC-H timings): for **every** TPC-H
 workload query in **every** device mode, every configuration of
 
-    pipeline_fusion ∈ {off, on}
+    workers ∈ {1, 2, "auto"}
+  × pipeline_fusion ∈ {off, on}
   × morsel_rows ∈ {None, 977, engine default}
   × cache {cold, warm}
 
 must report bit-identical outputs, bit-identical simulated seconds and
 bit-identical execution stats records (per-device busy seconds and
-per-link bytes) to the canonical baseline — fusion off, whole-column
-packets, cold.  These knobs tune the *real* wall-clock/working-set
-behavior of the engine; nothing the paper's figures plot may move.
+per-link bytes) to the canonical baseline — one worker, fusion off,
+whole-column packets, cold.  These knobs tune the *real*
+wall-clock/working-set behavior of the engine; nothing the paper's
+figures plot may move.  The worker axis is the parallel-execution
+determinism contract: worker threads run only pure kernel work, all
+merging/accounting happens on the query thread in canonical plan order.
 """
 
 from __future__ import annotations
@@ -31,12 +35,16 @@ MODES = ("cpu", "gpu", "hybrid")
 #: Whole-column packets, a non-divisor morsel size, and the default.
 MORSEL_SETTINGS = (None, 977, DEFAULT_MORSEL_ROWS)
 FUSION_SETTINGS = (False, True)
+#: Serial, genuinely threaded, and whatever the host resolves "auto" to.
+WORKER_SETTINGS = (1, 2, "auto")
 
 CONFIGS = [
-    pytest.param(fusion, morsel_rows,
-                 id=f"fusion={'on' if fusion else 'off'}-morsel={morsel_rows}")
+    pytest.param(fusion, morsel_rows, workers,
+                 id=(f"fusion={'on' if fusion else 'off'}"
+                     f"-morsel={morsel_rows}-workers={workers}"))
     for fusion in FUSION_SETTINGS
     for morsel_rows in MORSEL_SETTINGS
+    for workers in WORKER_SETTINGS
 ]
 
 
@@ -69,18 +77,19 @@ def baseline(tpch_dataset):
     return records, references
 
 
-@pytest.mark.parametrize("fusion,morsel_rows", CONFIGS)
+@pytest.mark.parametrize("fusion,morsel_rows,workers", CONFIGS)
 def test_tpch_grid_is_bit_identical(tpch_dataset, baseline, fusion,
-                                    morsel_rows):
+                                    morsel_rows, workers):
     records, references = baseline
     engine = HAPEEngine(default_server(), morsel_rows=morsel_rows,
-                        pipeline_fusion=fusion)
+                        pipeline_fusion=fusion, workers=workers)
     engine.register_dataset(tpch_dataset.tables)
     for query_name in EVALUATED_QUERIES:
         query = build_query(query_name, tpch_dataset)
         for mode in MODES:
             context = (f"{query_name}/{mode} fusion={fusion} "
-                       f"morsel_rows={morsel_rows}")
+                       f"morsel_rows={morsel_rows} "
+                       f"workers={workers} (resolved={engine.workers})")
             cold = engine.execute(query.plan, mode)
             assert _record(cold) == records[(query_name, mode)], (
                 f"{context}: cold run diverged from the canonical baseline")
