@@ -47,7 +47,12 @@ from repro.engine import HAPEEngine  # noqa: E402
 from repro.faults import FaultPlan  # noqa: E402
 from repro.hardware import default_server  # noqa: E402
 from repro.perf import JoinModels, TPCHModels  # noqa: E402
-from repro.server import QueryServer  # noqa: E402
+from repro.server import (  # noqa: E402
+    Arrival,
+    QueryServer,
+    poisson_arrivals,
+    trace_arrivals,
+)
 from repro.storage import generate_tpch  # noqa: E402
 from repro.workloads import (  # noqa: E402
     all_queries,
@@ -403,10 +408,15 @@ def suite_chaos(args: argparse.Namespace) -> dict:
         server.register_dataset(dataset.tables)
         for tenant, _ in SERVE_TENANTS:
             server.open_session(tenant)
-        for tenant, mode in SERVE_TENANTS:
-            for name, query in queries.items():
-                server.submit(tenant, query.plan, mode,
-                              label=f"{name}/{mode}")
+        # The submission schedule rides the open-loop path as a recorded
+        # trace with every arrival at t=0 — provably identical to direct
+        # submit() calls (the drain-equivalence property test pins this).
+        server.add_arrivals(
+            [Arrival(at=0.0, tenant=tenant, plan=query.plan, mode=mode,
+                     label=f"{name}/{mode}")
+             for tenant, mode in SERVE_TENANTS
+             for name, query in queries.items()],
+            name="chaos-trace")
         return server.run()
 
     # Fault-free reference pass: fixes the outage window and doubles as
@@ -480,6 +490,153 @@ def suite_chaos(args: argparse.Namespace) -> dict:
         "failover_results_identical": identical,
         "empty_plan_consistent": empty_plan_consistent,
         "empty_plan_simulated_seconds": empty_plan_sims,
+    }
+
+
+def suite_open_loop(args: argparse.Namespace) -> dict:
+    """Open-loop 4-tenant serving benchmark (the ``open_loop`` suite).
+
+    Two interactive tenants submit seeded Poisson streams (one CPU-mode,
+    one GPU-mode) of every evaluated TPC-H query while a normal tenant
+    replays a staggered hybrid trace and a batch tenant drains one hybrid
+    pass submitted at t=0.  Preemption and aging are on: interactive
+    arrivals may kill running batch attempts at morsel boundaries, aging
+    bounds how long that can go on.  The shared cache is disabled so every
+    attempt runs cold — preemption then always crosses the real morsel
+    grid and wall-clock numbers stay comparable across history entries.
+
+    Reported and gated by ``tools/check_serve.py --require-open-loop``:
+
+    * **solo bit-identity** — every served query's simulated seconds equal
+      a cold solo session's, bit for bit (open-loop arrivals, preemption
+      and aging only ever add queue wait);
+    * **SLO compliance** — both interactive tenants' p99 latency lands
+      within their ``slo_p99_seconds`` policy (derived from solo sims);
+    * **zero starvation** — every batch query completes, and finishes
+      while the interactive flood is still arriving;
+    * **deterministic replay** — a second run with the same arrival seed
+      reproduces the ticket schedule (labels, starts, finishes, sims,
+      preemption counts) exactly.
+    """
+    dataset = generate_tpch(args.sf, seed=args.seed)
+    queries = all_queries(dataset)
+    names = list(queries)
+    arrival_seed = args.seed
+
+    engine = HAPEEngine(default_server(), cache_budget_bytes=0)
+    engine.register_dataset(dataset.tables, replace=True)
+    solo = {}
+    for name, query in queries.items():
+        for mode in MODES:
+            solo[f"{name}/{mode}"] = engine.execute(
+                query.plan, mode).simulated_seconds
+    serial_total = (sum(solo[f"{n}/cpu"] for n in names)
+                    + sum(solo[f"{n}/gpu"] for n in names)
+                    + 2 * sum(solo[f"{n}/hybrid"] for n in names))
+    # Interactive SLO: generous but real — a handful of worst-case solo
+    # executions, far below the whole epoch's serial span.
+    slo = {
+        "cpu": 6.0 * max(solo[f"{n}/cpu"] for n in names),
+        "gpu": 6.0 * max(solo[f"{n}/gpu"] for n in names),
+    }
+    # Poisson rate: each interactive stream spreads over ~40% of the
+    # serial span, so arrivals genuinely interleave with running work.
+    rate = {mode: len(names) / (serial_total * 0.4) for mode in slo}
+    aging = max(solo[f"{n}/hybrid"] for n in names)
+
+    def one_run():
+        server = QueryServer(default_server(), preemption=True,
+                             aging_seconds=aging, cache_budget_bytes=0)
+        server.register_dataset(dataset.tables)
+        server.open_session("lat_cpu", priority="interactive",
+                            slo_p99_seconds=slo["cpu"])
+        server.open_session("lat_gpu", priority="interactive",
+                            slo_p99_seconds=slo["gpu"])
+        server.open_session("adhoc", priority="normal")
+        server.open_session("batch", priority="batch")
+        plans = [queries[name].plan for name in names]
+        server.add_arrivals(poisson_arrivals(
+            "lat_cpu", plans, rate_qps=rate["cpu"], count=len(names),
+            seed=arrival_seed, mode="cpu"))
+        server.add_arrivals(poisson_arrivals(
+            "lat_gpu", plans, rate_qps=rate["gpu"], count=len(names),
+            seed=arrival_seed + 1, mode="gpu"))
+        server.add_arrivals(trace_arrivals(
+            "adhoc", [(index * serial_total / 16, queries[name].plan)
+                      for index, name in enumerate(names)], mode="hybrid"))
+        server.add_arrivals(
+            [Arrival(at=0.0, tenant="batch", plan=queries[name].plan,
+                     mode="hybrid", label=f"{name}/hybrid")
+             for name in names], name="batch-drain")
+        return server.run()
+
+    def _fingerprint(report):
+        return tuple(
+            (t.label, t.tenant, t.status, t.submit_time, t.start_time,
+             t.finish_time, t.preemptions, t.result.simulated_seconds)
+            for t in report.tickets)
+
+    wall, report = _best_wall(args.repeat, one_run)
+    deterministic = _fingerprint(one_run()) == _fingerprint(report)
+
+    # Map every ticket back to its (query, mode) solo record: generator
+    # labels index round-robin into the plan list; the batch drain carries
+    # explicit name/mode labels.
+    def solo_key(ticket) -> str:
+        if "-p" in ticket.label or "-t" in ticket.label:
+            index = int(ticket.label.rsplit("-", 1)[1][1:]) - 1
+            return f"{names[index % len(names)]}/{ticket.mode}"
+        return ticket.label
+
+    identical = all(
+        ticket.result.simulated_seconds == solo[solo_key(ticket)]
+        for ticket in report.tickets)
+
+    interactive_flood_end = max(
+        ticket.submit_time for ticket in report.tickets
+        if ticket.tenant in ("lat_cpu", "lat_gpu"))
+    batch_tickets = [t for t in report.tickets if t.tenant == "batch"]
+    batch_completed = sum(1 for t in batch_tickets
+                          if t.status == "completed")
+    batch_starved = batch_completed < len(batch_tickets)
+
+    tenants = {}
+    for name, tenant in sorted(report.tenants.items()):
+        tenants[name] = {
+            "completed": tenant.completed,
+            "latency_p50_seconds": tenant.percentile_latency(50),
+            "latency_p99_seconds": tenant.percentile_latency(99),
+            "queue_wait_seconds": tenant.queue_wait_seconds,
+            "preemptions": tenant.preemptions,
+            "slo_p99_seconds": tenant.slo_p99_seconds,
+            "slo_met": tenant.slo_met,
+        }
+
+    return {
+        "scale_factor": args.sf,
+        "arrival_seed": arrival_seed,
+        "queries_served": report.completed,
+        "queries_submitted": len(report.tickets),
+        "wall_clock_seconds": wall,
+        "server_makespan_seconds": report.makespan,
+        "serial_seconds": report.serial_seconds,
+        "throughput_qps": report.throughput_qps,
+        "throughput_speedup_vs_serial": report.speedup_vs_serial,
+        "preemptions": report.preemptions,
+        "wasted_simulated_seconds": report.wasted_seconds,
+        "aging_seconds": aging,
+        "poisson_rate_qps": rate,
+        "slo_p99_seconds": slo,
+        "slos_met": report.slos_met,
+        "tenants": tenants,
+        "batch_completed": batch_completed,
+        "batch_starved": batch_starved,
+        "batch_finished_during_flood": bool(batch_tickets) and max(
+            t.finish_time for t in batch_tickets) < report.makespan,
+        "interactive_flood_end_seconds": interactive_flood_end,
+        "deterministic_replay": deterministic,
+        "simulated_seconds": solo,
+        "single_query_simulated_identical": identical,
     }
 
 
@@ -617,6 +774,7 @@ def main(argv: list[str] | None = None) -> int:
         "mem": lambda: suite_mem(args, topology),
         "serve": lambda: suite_serve(args),
         "chaos": lambda: suite_chaos(args),
+        "open_loop": lambda: suite_open_loop(args),
     }
     suites = {}
     for name in args.suites:
@@ -637,7 +795,7 @@ def main(argv: list[str] | None = None) -> int:
             cache = suites[name]["cache"]
             summary += (f", speedup={suites[name]['warm_speedup']:.2f}x, "
                         f"cache hits={cache['hits']} misses={cache['misses']}")
-        if "throughput_speedup_vs_serial" in suites[name]:
+        if "latency_p99_seconds" in suites[name]:
             record = suites[name]
             summary += (
                 f", {record['queries_served']} queries, throughput "
@@ -654,6 +812,15 @@ def main(argv: list[str] | None = None) -> int:
                 f", {scaling}, 4-worker speedup "
                 f"{record['speedup_at_4_workers']:.2f}x, sims identical="
                 f"{record['simulated_identical_across_workers']}")
+        if "deterministic_replay" in suites[name]:
+            record = suites[name]
+            summary += (
+                f", {record['queries_served']}/"
+                f"{record['queries_submitted']} served, "
+                f"{record['preemptions']} preemptions, slos_met="
+                f"{record['slos_met']}, batch_starved="
+                f"{record['batch_starved']}, replay="
+                f"{record['deterministic_replay']}")
         if "makespan_degradation" in suites[name]:
             record = suites[name]
             summary += (

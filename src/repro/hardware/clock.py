@@ -79,6 +79,34 @@ class SimClock:
         self._busy_time += duration
         return record
 
+    def truncate(self, record: TaskRecord, fraction: float) -> TaskRecord:
+        """Shrink an existing reservation to ``fraction`` of its duration.
+
+        Used when a running task is killed early (fault, preemption): the
+        resource is only occupied until the kill instant, so the record is
+        replaced by one covering ``[start, start + duration * fraction)``
+        and the clock's availability is recomputed.  Because list
+        scheduling never starts a later task before an earlier one ends,
+        shrinking a record can never create an overlap.  Returns the
+        replacement record.
+        """
+        if not 0.0 <= fraction <= 1.0:
+            raise ValueError("truncation fraction must be within [0, 1]")
+        try:
+            index = next(i for i, existing in enumerate(self._records)
+                         if existing is record)
+        except StopIteration:
+            raise ValueError(
+                f"record {record!r} is not scheduled on {self.resource!r}"
+            ) from None
+        truncated = TaskRecord(record.resource, record.label, record.start,
+                               record.start + record.duration * fraction)
+        self._records[index] = truncated
+        self._busy_time -= record.duration - truncated.duration
+        self._available_at = max(
+            (existing.end for existing in self._records), default=0.0)
+        return truncated
+
     def reset(self) -> None:
         """Forget all scheduled work."""
         self._available_at = 0.0

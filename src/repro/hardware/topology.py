@@ -81,12 +81,38 @@ class OccupancyBoard:
         Atomic: no other thread can reserve between the availability read
         and the reservations.
         """
+        start, _ = self.reserve_records(resources, earliest=earliest,
+                                        label=label)
+        return start
+
+    def reserve_records(self, resources: Mapping[str, float], *,
+                        earliest: float = 0.0,
+                        label: str = "query") -> tuple[float, tuple]:
+        """Like :meth:`reserve` but also return the ledger records.
+
+        The records are handles for :meth:`truncate`: a scheduler that may
+        later kill the reservation early (fault, preemption) keeps them to
+        release the occupied tail.
+        """
         with self._lock:
             start = max(self.available_at(tuple(resources)), earliest)
-            for name, duration in resources.items():
+            records = tuple(
                 self.clock(name).reserve(float(duration), earliest=start,
                                          label=label)
-            return start
+                for name, duration in resources.items())
+            return start, records
+
+    def truncate(self, records: Sequence, fraction: float) -> tuple:
+        """Shrink reservations to ``fraction`` of their durations.
+
+        Applied when a running query is killed at ``fraction`` of its way
+        through: each of its ledger records keeps only the busy time up to
+        the kill instant, exactly what a ``dispatch(fraction=...)`` of the
+        killed attempt would have reserved.  Returns the replacements.
+        """
+        with self._lock:
+            return tuple(self.clock(record.resource).truncate(record, fraction)
+                         for record in records)
 
     def busy_time(self, resource: str) -> float:
         return self.clock(resource).busy_time

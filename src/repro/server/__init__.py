@@ -19,6 +19,14 @@ single-session engine (see ``docs/SERVING.md``):
 per-tenant accounting through
 :class:`~repro.server.server.ServerReport`.
 
+Serving is *open-loop*: arrival sources (:mod:`repro.server.arrivals` —
+seeded Poisson processes, recorded traces) submit queries while the drain
+is live, interactive arrivals may preempt running batch work at morsel
+boundaries (aging protects batch tenants from starvation), per-tenant
+latency SLOs are graded on the report, and
+:meth:`~repro.server.server.QueryServer.metrics` exports the whole state
+as a Prometheus/JSON :class:`~repro.server.metrics.MetricsSnapshot`.
+
 Serving is fault tolerant (see ``docs/FAULTS.md``): a
 :class:`~repro.faults.FaultPlan` passed to the server is replayed
 deterministically during :meth:`~repro.server.server.QueryServer.run`,
@@ -35,7 +43,9 @@ from .admission import (
     RetryPolicy,
     TenantPolicy,
 )
-from .scheduler import DeviceScheduler
+from .arrivals import Arrival, ArrivalSource, poisson_arrivals, trace_arrivals
+from .metrics import MetricsSnapshot
+from .scheduler import DeviceScheduler, Placement
 from .server import (
     MODE_DEGRADATION,
     QueryServer,
@@ -49,7 +59,11 @@ __all__ = [
     "MODE_DEGRADATION",
     "PRIORITY_CLASSES",
     "AdmissionController",
+    "Arrival",
+    "ArrivalSource",
     "DeviceScheduler",
+    "MetricsSnapshot",
+    "Placement",
     "QueryServer",
     "QueryTicket",
     "RetryPolicy",
@@ -57,4 +71,6 @@ __all__ = [
     "SharedQueryCache",
     "TenantPolicy",
     "TenantReport",
+    "poisson_arrivals",
+    "trace_arrivals",
 ]

@@ -49,12 +49,16 @@ class TenantPolicy:
     (submissions beyond it are rejected — backpressure), and
     ``memory_budget_bytes`` caps the summed working-set estimate of the
     tenant's in-flight queries (``None`` = unlimited).
+    ``slo_p99_seconds`` is the tenant's latency objective: when set, the
+    epoch report (and the metrics snapshot) grades the tenant's p99
+    submit-to-finish latency against it as pass/fail.
     """
 
     priority: str = "normal"
     max_concurrency: int = 1
     max_queue_depth: int = 32
     memory_budget_bytes: int | None = None
+    slo_p99_seconds: float | None = None
 
     def __post_init__(self) -> None:
         if self.priority not in PRIORITY_CLASSES:
@@ -67,6 +71,9 @@ class TenantPolicy:
         if (self.memory_budget_bytes is not None
                 and self.memory_budget_bytes < 0):
             raise ValueError("memory_budget_bytes must be >= 0 or None")
+        if (self.slo_p99_seconds is not None
+                and self.slo_p99_seconds <= 0.0):
+            raise ValueError("slo_p99_seconds must be positive or None")
 
     @property
     def rank(self) -> int:
@@ -120,9 +127,21 @@ class _Queued:
 
 
 class AdmissionController:
-    """Bounded, budgeted, priority-and-fairness-aware dispatch queues."""
+    """Bounded, budgeted, priority-and-fairness-aware dispatch queues.
 
-    def __init__(self) -> None:
+    ``aging_seconds``, when set, protects low-priority tenants from
+    starvation under a sustained high-priority flood: a queued head's
+    effective rank drops by one class for every ``aging_seconds`` of
+    simulated wait (never below interactive), so an old batch query
+    eventually outranks fresh interactive arrivals.  The same aged rank
+    guards preemption victims — see :meth:`aged_rank`.  ``None`` disables
+    aging (the pre-aging dispatch order, bit for bit).
+    """
+
+    def __init__(self, *, aging_seconds: float | None = None) -> None:
+        if aging_seconds is not None and aging_seconds <= 0.0:
+            raise ValueError("aging_seconds must be positive or None")
+        self.aging_seconds = aging_seconds
         self._policies: dict[str, TenantPolicy] = {}
         self._queues: dict[str, deque[_Queued]] = {}
         self._running: dict[str, int] = {}
@@ -211,12 +230,23 @@ class AdmissionController:
     # ------------------------------------------------------------------
     # Dispatch
     # ------------------------------------------------------------------
+    def aged_rank(self, rank: int, waited: float) -> int:
+        """Effective priority rank after ``waited`` simulated seconds.
+
+        With aging enabled the rank drops one class per full
+        ``aging_seconds`` of wait, floored at the interactive rank (0).
+        Without aging the static rank passes through unchanged.
+        """
+        if self.aging_seconds is None or waited <= 0.0:
+            return rank
+        return max(0, rank - int(waited // self.aging_seconds))
+
     def next_admissible(self, now: float) -> tuple[str, Any, int] | None:
         """Pop the next dispatchable submission at server time ``now``.
 
         Per tenant only the queue head is considered (FIFO within a
-        tenant); across tenants the winner minimizes ``(priority rank,
-        dispatch count, arrival)``.  Returns ``(tenant, item,
+        tenant); across tenants the winner minimizes ``(aged priority
+        rank, dispatch count, arrival)``.  Returns ``(tenant, item,
         estimated_bytes)`` or ``None`` when nothing is dispatchable —
         either everything is blocked (a completion will unblock it) or the
         remaining heads carry future submit times.
@@ -236,7 +266,8 @@ class AdmissionController:
                     and self._in_flight_bytes[tenant] + head.estimated_bytes
                     > policy.memory_budget_bytes):
                 continue
-            key = (policy.rank, self._dispatched[tenant], head.seq)
+            key = (self.aged_rank(policy.rank, now - head.at),
+                   self._dispatched[tenant], head.seq)
             if best_key is None or key < best_key:
                 best_key, best_tenant = key, tenant
         if best_tenant is None:

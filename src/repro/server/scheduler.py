@@ -21,8 +21,27 @@ CPUs and the GPUs, however asymmetric its split was.
 
 from __future__ import annotations
 
+from dataclasses import dataclass, replace
+
 from ..engine.session import QueryResult
+from ..hardware.clock import TaskRecord
 from ..hardware.topology import Topology
+
+
+@dataclass(frozen=True)
+class Placement:
+    """One dispatched attempt's server-time reservation.
+
+    ``resources`` is the sorted tuple of reserved resource names (what the
+    report surfaces); ``records`` are the occupancy-board ledger entries
+    backing the reservation — the handles :meth:`DeviceScheduler.release`
+    needs to free the tail of a killed attempt at its kill instant.
+    """
+
+    start: float
+    finish: float
+    resources: tuple[str, ...]
+    records: tuple[TaskRecord, ...]
 
 
 class DeviceScheduler:
@@ -68,9 +87,8 @@ class DeviceScheduler:
         return reservations
 
     def dispatch(self, result: QueryResult, *, earliest: float,
-                 label: str, fraction: float = 1.0
-                 ) -> tuple[float, float, tuple[str, ...]]:
-        """Reserve the query's resources; returns (start, finish, names).
+                 label: str, fraction: float = 1.0) -> Placement:
+        """Reserve the query's resources; returns the :class:`Placement`.
 
         The start is the earliest server time at which every reserved
         resource is free (and not before ``earliest``); the query finishes
@@ -88,10 +106,29 @@ class DeviceScheduler:
         if fraction != 1.0:
             reservations = {name: busy * fraction
                             for name, busy in reservations.items()}
-        start = self.topology.occupancy.reserve(reservations,
-                                                earliest=earliest,
-                                                label=label)
+        start, records = self.topology.occupancy.reserve_records(
+            reservations, earliest=earliest, label=label)
         makespan = result.simulated_seconds
         if fraction != 1.0:
             makespan = makespan * fraction
-        return start, start + makespan, tuple(sorted(reservations))
+        return Placement(start=start, finish=start + makespan,
+                         resources=tuple(sorted(reservations)),
+                         records=records)
+
+    def release(self, placement: Placement, *, fraction: float) -> Placement:
+        """Free the tail of a killed attempt's reservation at its kill time.
+
+        ``fraction`` is how far through its span the attempt got before it
+        was killed (fault strike, preemption).  Every ledger record is
+        truncated to that fraction of its busy time — the same scaling
+        :meth:`dispatch` with ``fraction=`` would have reserved up front —
+        so a follow-on query on a freed resource starts at the kill
+        instant, not at the attempt's originally reserved end.  Returns the
+        placement with the truncated finish and records.
+        """
+        if not 0.0 <= fraction <= 1.0:
+            raise ValueError("release fraction must be in [0, 1]")
+        records = self.topology.occupancy.truncate(placement.records, fraction)
+        span = placement.finish - placement.start
+        return replace(placement, records=records,
+                       finish=placement.start + span * fraction)

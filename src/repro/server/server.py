@@ -52,6 +52,7 @@ from __future__ import annotations
 
 import heapq
 import itertools
+import math
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -76,7 +77,9 @@ from ..relational.logical import LogicalPlan
 from ..storage.catalog import Catalog
 from ..storage.table import Table
 from .admission import AdmissionController, RetryPolicy, TenantPolicy
-from .scheduler import DeviceScheduler
+from .arrivals import Arrival, ArrivalSource
+from .metrics import MetricsSnapshot
+from .scheduler import DeviceScheduler, Placement
 from .sharedcache import SharedQueryCache
 
 #: Mode-degradation ladder for device-scoped failures: a query that cannot
@@ -119,6 +122,7 @@ class QueryTicket:
     attempts: int = 0
     retries: int = 0
     failovers: int = 0
+    preemptions: int = 0
     wasted_seconds: float = 0.0
     error: str | None = None
 
@@ -162,6 +166,7 @@ class _Attempt:
     result: QueryResult
     cache_delta: CacheCounters
     reserved: tuple[str, ...]
+    placement: Placement | None = None
     fault: InjectedFault | None = None
     cancelled: bool = False
 
@@ -176,6 +181,7 @@ class TenantReport:
     timed_out: int = 0
     retries: int = 0
     failovers: int = 0
+    preemptions: int = 0
     wasted_seconds: float = 0.0
     queue_wait_seconds: float = 0.0
     simulated_seconds: float = 0.0
@@ -185,11 +191,28 @@ class TenantReport:
     cache: CacheCounters = field(default_factory=CacheCounters)
     peak_intermediate_bytes: int = 0
     latencies: list[float] = field(default_factory=list)
+    #: The tenant policy's latency objective, copied onto the report so
+    #: SLO grading travels with the numbers it grades.
+    slo_p99_seconds: float | None = None
 
     def percentile_latency(self, q: float) -> float:
         if not self.latencies:
             return 0.0
         return float(np.percentile(np.asarray(self.latencies), q))
+
+    @property
+    def slo_met(self) -> bool | None:
+        """Pass/fail against the tenant's p99 objective.
+
+        ``None`` when the tenant declared no SLO.  A tenant with an SLO
+        but no completed queries fails it — an objective over queries
+        that never finished is not met.
+        """
+        if self.slo_p99_seconds is None:
+            return None
+        if not self.latencies:
+            return False
+        return self.percentile_latency(99) <= self.slo_p99_seconds
 
 
 @dataclass
@@ -234,6 +257,16 @@ class ServerReport:
         return sum(t.wasted_seconds for t in self.tickets)
 
     @property
+    def preemptions(self) -> int:
+        return sum(t.preemptions for t in self.tickets)
+
+    @property
+    def slos_met(self) -> bool:
+        """True when every tenant that declared an SLO met it."""
+        return all(tenant.slo_met is not False
+                   for tenant in self.tenants.values())
+
+    @property
     def throughput_qps(self) -> float:
         if self.makespan <= 0:
             return 0.0
@@ -263,10 +296,12 @@ class ServerReport:
             f"p99={self.percentile_latency(99) * 1e3:.3f} ms",
             f"  shared cache: {self.cache.describe()}",
         ]
-        if self.failed or self.timed_out or self.retries or self.failovers:
+        if (self.failed or self.timed_out or self.retries or self.failovers
+                or self.preemptions):
             lines.append(
                 f"  faults: {self.failed} failed, {self.timed_out} timed "
                 f"out, {self.retries} retries, {self.failovers} failovers, "
+                f"{self.preemptions} preemptions, "
                 f"{self.wasted_seconds * 1e3:.3f} ms wasted")
         for name in sorted(self.tenants):
             tenant = self.tenants[name]
@@ -279,6 +314,10 @@ class ServerReport:
                 line += (f", {tenant.failed} failed/{tenant.timed_out} "
                          f"timed out, "
                          f"{tenant.wasted_seconds * 1e3:.3f} ms wasted")
+            if tenant.slo_met is not None:
+                line += (f", p99 {tenant.percentile_latency(99) * 1e3:.3f} "
+                         f"ms SLO "
+                         f"{'met' if tenant.slo_met else 'MISSED'}")
             lines.append(line)
         return "\n".join(lines)
 
@@ -324,6 +363,21 @@ class QueryServer:
         (two tenants racing to compute the same kernel both count a
         miss), so workloads asserting exact cache counters should keep
         the default.
+    preemption:
+        When ``True``, an interactive arrival that would otherwise wait
+        may kill a running batch-priority attempt at its next morsel
+        boundary: the victim's partial busy time stays on the occupancy
+        board (the ``dispatch(fraction=)`` accounting), the tail of its
+        reservation is released at the kill instant, and the victim
+        re-queues to run again — its eventual result bit-identical to an
+        undisturbed run.  Off by default: drain-style epochs are
+        bit-identical to the pre-preemption server.
+    aging_seconds:
+        Starvation guard for ``preemption`` and for sustained
+        high-priority floods: a queued query's effective priority climbs
+        one class per ``aging_seconds`` of simulated wait, and a batch
+        query that has waited two full steps can no longer be chosen as
+        a preemption victim.  ``None`` (default) disables aging.
     """
 
     def __init__(self, topology: Topology | None = None, *,
@@ -334,7 +388,9 @@ class QueryServer:
                  retry_policy: RetryPolicy | None = None,
                  breaker_threshold: int = 3,
                  breaker_cooldown_seconds: float = 1.0,
-                 workers: int | str = 1) -> None:
+                 workers: int | str = 1,
+                 preemption: bool = False,
+                 aging_seconds: float | None = None) -> None:
         self.topology = topology if topology is not None else default_server()
         self.catalog = Catalog()
         if cache_budget_bytes is None:
@@ -345,7 +401,10 @@ class QueryServer:
         # The one invalidation subscription for the whole server: tenant
         # sessions share this cache and must not subscribe it again.
         self.catalog.subscribe(self.query_cache.invalidate_table)
-        self.admission = AdmissionController()
+        if not isinstance(preemption, bool):
+            raise ValueError("preemption must be a bool")
+        self.preemption = preemption
+        self.admission = AdmissionController(aging_seconds=aging_seconds)
         self.scheduler = DeviceScheduler(
             self.topology, occupancy_threshold=occupancy_threshold)
         self.fault_plan = fault_plan or FaultPlan()
@@ -360,6 +419,10 @@ class QueryServer:
         self._event_seq = itertools.count()
         #: Tickets awaiting (or rejected since) the next ``run()`` drain.
         self._epoch_tickets: list[QueryTicket] = []
+        #: Open-loop arrival streams pumped by the next ``run()`` drain.
+        self._arrival_sources: list[ArrivalSource] = []
+        #: The most recent epoch's report — what ``metrics()`` exports.
+        self.last_report: ServerReport | None = None
         self._injector: FaultInjector | None = None
         self._breaker: CircuitBreaker | None = None
 
@@ -392,18 +455,22 @@ class QueryServer:
     def open_session(self, tenant: str, *, priority: str = "normal",
                      max_concurrency: int = 1, max_queue_depth: int = 32,
                      memory_budget_bytes: int | None = None,
+                     slo_p99_seconds: float | None = None,
                      retry: RetryPolicy | None = None) -> HAPEEngine:
         """Open a tenant session with its admission policy.
 
         The session is a full :class:`HAPEEngine` sharing the server's
         topology, catalog and cache; it can also be used directly for
         immediate (non-queued) execution.  ``retry`` overrides the
-        server-wide :class:`RetryPolicy` for this tenant.
+        server-wide :class:`RetryPolicy` for this tenant;
+        ``slo_p99_seconds`` sets the latency objective the epoch report
+        grades the tenant against.
         """
         policy = TenantPolicy(priority=priority,
                               max_concurrency=max_concurrency,
                               max_queue_depth=max_queue_depth,
-                              memory_budget_bytes=memory_budget_bytes)
+                              memory_budget_bytes=memory_budget_bytes,
+                              slo_p99_seconds=slo_p99_seconds)
         self.admission.open_tenant(tenant, policy)
         if retry is not None:
             self._retry_policies[tenant] = retry
@@ -442,6 +509,11 @@ class QueryServer:
         ``deadline_seconds``.  A tenant without an open session gets one
         with the default policy.  Rejected submissions raise — and still
         appear in the next report, counted against the tenant.
+
+        Submission is legal while :meth:`run` is draining: the serving
+        loop is open-loop, and registered arrival sources (see
+        :meth:`add_arrivals`) call straight into this method as server
+        time reaches each arrival.
         """
         if not self.admission.has_tenant(tenant):
             self.open_session(tenant)
@@ -468,6 +540,51 @@ class QueryServer:
         return int(sum(self.catalog.stats(name).nbytes
                        for name in plan.referenced_tables()
                        if name in self.catalog))
+
+    # ------------------------------------------------------------------
+    # Open-loop arrivals
+    # ------------------------------------------------------------------
+    def add_arrivals(self, source, *, name: str | None = None
+                     ) -> ArrivalSource:
+        """Register an arrival stream for the next :meth:`run` epoch.
+
+        ``source`` is an :class:`ArrivalSource` or any iterable of
+        :class:`Arrival` entries (a generator is drained eagerly, so the
+        stream is plain data before the drain starts).  The serving loop
+        submits each arrival at exactly its ``at`` time on the simulated
+        server clock; arrivals the admission controller rejects
+        (backpressure) are recorded as rejected tickets, not raised.
+        Sources are consumed by one epoch and cleared when it ends.
+        """
+        if not isinstance(source, ArrivalSource):
+            source = ArrivalSource(
+                name or f"arrivals-{len(self._arrival_sources) + 1}", source)
+        source.rewind()
+        self._arrival_sources.append(source)
+        return source
+
+    def _pump_arrivals(self, now: float) -> None:
+        """Submit every registered arrival due at or before ``now``.
+
+        Sources are pumped in registration order, each in stream order —
+        the deterministic submit order the epoch replays run after run.
+        """
+        for source in self._arrival_sources:
+            for arrival in source.pop_due(now):
+                try:
+                    self.submit(arrival.tenant, arrival.resolve_plan(),
+                                arrival.mode, label=arrival.label,
+                                at=arrival.at, deadline=arrival.deadline)
+                except AdmissionError:
+                    # Open-loop clients do not stop arriving because the
+                    # server pushed back; the rejection is on the report.
+                    pass
+
+    def _next_arrival_time(self) -> float | None:
+        """Earliest undelivered arrival across all sources (if any)."""
+        heads = [source.peek().at for source in self._arrival_sources
+                 if not source.exhausted]
+        return min(heads) if heads else None
 
     # ------------------------------------------------------------------
     # The serving loop
@@ -512,13 +629,16 @@ class QueryServer:
             injector.restore_all()
             breaker.restore_all()
             self._injector = self._breaker = None
+            self._arrival_sources = []
         report = self._build_report()
+        self.last_report = report
         self._epoch_tickets = []
         return report
 
     def _drain(self, completions: list) -> None:
         now = 0.0
         self._apply_faults(now, completions)
+        self._pump_arrivals(now)
         while True:
             if self._pool.parallel:
                 self._dispatch_admissible_parallel(now, completions)
@@ -537,6 +657,11 @@ class QueryServer:
             future_submit = self.admission.earliest_future_submit(now)
             if future_submit is not None:
                 events.append(future_submit)
+            arrival_at = self._next_arrival_time()
+            if arrival_at is not None:
+                # Open-loop: undelivered arrivals extend the epoch — the
+                # server idles forward to the next arrival if it must.
+                events.append(max(arrival_at, now))
             if not events:
                 if self.admission.has_queued():  # pragma: no cover
                     raise ServingError(
@@ -557,6 +682,7 @@ class QueryServer:
                 if not attempt.cancelled:
                     self._finish_attempt(attempt, attempt.finish)
             self._apply_faults(now, completions)
+            self._pump_arrivals(now)
 
     def _apply_faults(self, now: float, completions: list) -> None:
         """Apply scheduled faults/probes due at ``now``; kill stranded work."""
@@ -572,6 +698,14 @@ class QueryServer:
             attempt.cancelled = True
             ticket = attempt.ticket
             ticket.wasted_seconds += max(now - attempt.start, 0.0)
+            # Release the tail of the killed attempt's reservation: the
+            # hardware was only occupied until the strike, and a follow-on
+            # query on a freed resource must start at the kill instant,
+            # not at the attempt's originally reserved end.
+            if attempt.placement is not None:
+                self.scheduler.release(
+                    attempt.placement,
+                    fraction=self._elapsed_fraction(attempt, now))
             self.admission.on_finish(ticket.tenant, ticket.estimated_bytes)
             lost = next(name for name in newly_failed
                         if name in attempt.reserved)
@@ -636,12 +770,20 @@ class QueryServer:
         occupancy reservations are order-sensitive (list scheduling).
         """
         deadline = ticket.deadline_time
+        reservations = self.scheduler.reservations(result)
+        # An interactive arrival that would wait behind running batch work
+        # may evict it first (at a morsel boundary), so preemption happens
+        # before the start estimate and the reservation.
+        if (self.preemption
+                and self.admission.policy(tenant).rank == 0
+                and self.topology.occupancy.available_at(
+                    tuple(reservations)) > now):
+            self._preempt_for(tuple(reservations), now, completions)
         # Decide — before reserving — whether this attempt survives: an
         # injected fault may kill it mid-run, and the deadline may cut it
         # short.  The start estimate reproduces the occupancy board's own
         # rule (max of availability and now), so the reservation below
         # lands at exactly this start.
-        reservations = self.scheduler.reservations(result)
         start = max(self.topology.occupancy.available_at(tuple(reservations)),
                     now)
         sim = result.simulated_seconds
@@ -655,15 +797,106 @@ class QueryServer:
         fraction = 1.0
         if kind != "success" and sim > 0.0:
             fraction = min(max((dies_at - start) / sim, 0.0), 1.0)
-        start_r, finish, reserved = self.scheduler.dispatch(
+        placement = self.scheduler.dispatch(
             result, earliest=now, label=f"{tenant}:{ticket.label}",
             fraction=fraction)
-        attempt = _Attempt(ticket=ticket, kind=kind, start=start_r,
-                           finish=finish, result=result,
-                           cache_delta=cache_delta, reserved=reserved,
+        attempt = _Attempt(ticket=ticket, kind=kind, start=placement.start,
+                           finish=placement.finish, result=result,
+                           cache_delta=cache_delta,
+                           reserved=placement.resources, placement=placement,
                            fault=fault)
         heapq.heappush(completions,
-                       (finish, next(self._event_seq), attempt))
+                       (placement.finish, next(self._event_seq), attempt))
+
+    # ------------------------------------------------------------------
+    # Preemption: interactive arrivals evict running batch work
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _elapsed_fraction(attempt: _Attempt, at: float) -> float:
+        """How far through its reserved span an attempt is at ``at``."""
+        span = attempt.finish - attempt.start
+        if span <= 0.0:
+            return 0.0
+        return min(max((at - attempt.start) / span, 0.0), 1.0)
+
+    def _morsel_boundary(self, attempt: _Attempt, now: float) -> float:
+        """Earliest morsel boundary of ``attempt`` at or after ``now``.
+
+        The attempt's span divides evenly over the morsels its execution
+        dispatched — preemption is cooperative, a victim yields between
+        morsels, never mid-kernel.  A cache-served attempt dispatched no
+        morsels and is treated as one indivisible unit.
+        """
+        span = attempt.finish - attempt.start
+        if span <= 0.0:
+            return attempt.start
+        steps = max(attempt.result.morsels_dispatched, 1)
+        delta = span / steps
+        index = max(math.ceil((now - attempt.start) / delta - 1e-12), 0)
+        return min(attempt.start + index * delta, attempt.finish)
+
+    def _preempt_for(self, needed: tuple[str, ...], now: float,
+                     completions: list) -> bool:
+        """Evict running batch attempts holding resources in ``needed``.
+
+        Victims are considered in completion order (earliest reserved
+        finish first — the canonical deterministic order): a victim must
+        be an uncancelled, still-running successful attempt of a
+        batch-priority tenant whose *aged* rank is still below
+        interactive — a batch query that has waited long enough to age to
+        the top class is starvation-protected and cannot be evicted
+        again.  Each victim is killed at its next morsel boundary; its
+        reservation tail is released there and the query re-queues to run
+        again.  Stops as soon as every needed resource is free.
+        """
+        preempted = False
+        for _, _, attempt in sorted(completions, key=lambda e: (e[0], e[1])):
+            if self.topology.occupancy.available_at(needed) <= now:
+                break
+            if attempt.cancelled or attempt.kind != "success":
+                continue
+            if attempt.finish <= now or attempt.placement is None:
+                continue
+            ticket = attempt.ticket
+            policy = self.admission.policy(ticket.tenant)
+            if policy.priority != "batch":
+                continue
+            if self.admission.aged_rank(
+                    policy.rank, now - ticket.submit_time) == 0:
+                continue
+            if not set(attempt.reserved) & set(needed):
+                continue
+            kill = self._morsel_boundary(attempt, now)
+            if kill >= attempt.finish:
+                continue
+            self._preempt_attempt(attempt, kill)
+            preempted = True
+        return preempted
+
+    def _preempt_attempt(self, attempt: _Attempt, kill: float) -> None:
+        """Kill one running attempt at ``kill`` and re-queue its ticket.
+
+        The busy time up to the kill stays charged on the occupancy board
+        (exactly what ``dispatch(fraction=)`` would have reserved) and on
+        the ticket as wasted seconds; the reservation tail is released at
+        the kill instant.  Preemption is the server's choice, not the
+        query's failure, so the attempt does not count against the retry
+        budget — the ticket re-queues at the kill time and its eventual
+        re-execution returns a bit-identical result.
+        """
+        ticket = attempt.ticket
+        assert attempt.placement is not None
+        self.scheduler.release(attempt.placement,
+                               fraction=self._elapsed_fraction(attempt, kill))
+        attempt.cancelled = True
+        ticket.wasted_seconds += max(kill - attempt.start, 0.0)
+        ticket.preemptions += 1
+        ticket.attempts -= 1
+        ticket.status = "queued"
+        self.admission.on_finish(ticket.tenant, ticket.estimated_bytes)
+        self.admission.requeue(ticket.tenant, ticket,
+                               estimated_bytes=ticket.estimated_bytes,
+                               at=kill)
 
     def _dispatch_admissible_parallel(self, now: float,
                                       completions: list) -> None:
@@ -841,6 +1074,7 @@ class QueryServer:
                 ticket.error = f"epoch aborted: {cause}"
         self.admission.abort_epoch()
         report = self._build_report()
+        self.last_report = report
         self._epoch_tickets = []
         return report
 
@@ -853,6 +1087,7 @@ class QueryServer:
             report = tenants.setdefault(ticket.tenant, TenantReport())
             report.retries += ticket.retries
             report.failovers += ticket.failovers
+            report.preemptions += ticket.preemptions
             report.wasted_seconds += ticket.wasted_seconds
             if ticket.wasted_seconds > 0.0 or ticket.status in (
                     "failed", "timed_out"):
@@ -888,7 +1123,35 @@ class QueryServer:
             report.latencies.append(ticket.latency)
             makespan = max(makespan, ticket.finish_time)
             serial += ticket.result.simulated_seconds
+        for name, report in tenants.items():
+            if self.admission.has_tenant(name):
+                report.slo_p99_seconds = (
+                    self.admission.policy(name).slo_p99_seconds)
         return ServerReport(tickets=list(self._epoch_tickets),
                             tenants=tenants, makespan=makespan,
                             serial_seconds=serial,
                             cache=self.query_cache.stats())
+
+    # ------------------------------------------------------------------
+    # Observability
+    # ------------------------------------------------------------------
+    def metrics(self) -> MetricsSnapshot:
+        """A scrapeable snapshot of the last epoch plus live server state.
+
+        Combines the most recent :class:`ServerReport` (zeros before the
+        first ``run()``), the shared cache's live counters and the
+        topology's device health into one :class:`MetricsSnapshot` that
+        renders as Prometheus exposition text or JSON.
+        """
+        return MetricsSnapshot.collect(
+            report=self.last_report, cache=self.query_cache.stats(),
+            device_health=self.topology.health_report())
+
+    def health(self) -> dict:
+        """Liveness/readiness view: overall status plus per-device health."""
+        devices = self.topology.health_report()
+        degraded = sorted(name for name, state in devices.items()
+                          if state != "healthy")
+        return {"status": "degraded" if degraded else "ok",
+                "degraded_devices": degraded, "devices": devices,
+                "tenants": sorted(self._sessions)}

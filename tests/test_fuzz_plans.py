@@ -403,3 +403,68 @@ def test_fuzzed_plan_matches_reference(engine_grid, seed):
         for table in case.tables:
             for engine in engines.values():
                 engine.catalog.drop(table.name)
+
+
+# ----------------------------------------------------------------------
+# Served fuzzing: the same plans through the open-loop server
+# ----------------------------------------------------------------------
+#: Every fifth fuzz seed replays through :class:`QueryServer` — arrival
+#: pattern chosen by seed, workers swept — and must stay cell-exact
+#: against the reference and sim-exact against a solo engine.
+SERVED_EVERY = 5
+ARRIVAL_PATTERNS = ("drain", "poisson", "trace")
+
+
+@pytest.mark.parametrize("seed", range(0, FUZZ_PLAN_CASES, SERVED_EVERY))
+def test_fuzzed_plan_served_identically(seed):
+    from repro.server import Arrival, QueryServer, trace_arrivals
+
+    case = _Case(seed)
+    pattern = ARRIVAL_PATTERNS[seed % len(ARRIVAL_PATTERNS)]
+    arrival_seed = SEED_BASE + 1000 + seed
+    solo = HAPEEngine(default_server(), cache_budget_bytes=0)
+    for table in case.tables:
+        solo.register_table(table)
+    reference = execute_logical(case.plan, solo.catalog)
+    solo_sims = {mode: solo.execute(case.plan, mode).simulated_seconds
+                 for mode in MODES}
+    tenants = ("inter", "norm", "batch")
+    for workers in WORKER_SETTINGS:
+        context_base = (f"seed={seed} workers={workers} "
+                        f"arrivals={pattern} arrival_seed={arrival_seed}\n"
+                        f"plan:\n{case.plan.pretty()}")
+        server = QueryServer(default_server(), workers=workers,
+                             preemption=True, aging_seconds=1e-4,
+                             cache_budget_bytes=0)
+        server.register_dataset({table.name: table
+                                 for table in case.tables})
+        server.open_session("inter", priority="interactive")
+        server.open_session("norm", priority="normal")
+        server.open_session("batch", priority="batch")
+        jobs = [(tenants[index], mode) for index, mode in enumerate(MODES)]
+        if pattern == "drain":
+            for tenant, mode in jobs:
+                server.submit(tenant, case.plan, mode, label=f"m:{mode}")
+        elif pattern == "poisson":
+            rng = np.random.default_rng(arrival_seed)
+            at = 0.0
+            arrivals = []
+            for tenant, mode in jobs:
+                at += float(rng.exponential(2e-5))
+                arrivals.append(Arrival(at=at, tenant=tenant, plan=case.plan,
+                                        mode=mode, label=f"m:{mode}"))
+            for index, arrival in enumerate(arrivals):
+                server.add_arrivals([arrival], name=f"src{index}")
+        else:
+            for index, (tenant, mode) in enumerate(jobs):
+                server.add_arrivals(trace_arrivals(
+                    tenant, [(index * 1e-5, case.plan, mode)]))
+        report = server.run()
+        assert report.completed == len(jobs), (
+            f"{context_base}\nserved epoch did not complete every query")
+        for ticket in report.tickets:
+            context = f"{context_base}\nticket mode={ticket.mode}"
+            _assert_cell_exact(ticket.result.table, reference, context)
+            assert ticket.simulated_seconds == solo_sims[ticket.mode], (
+                f"{context}: served simulated seconds diverged from the "
+                f"solo engine run")

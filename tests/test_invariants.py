@@ -154,3 +154,83 @@ class TestFusionKnobSurface:
             query = build_query("Q5", tpch_dataset)
             return engine.execute(query.plan, "hybrid").morsels_dispatched
         assert run(True) < run(False)
+
+
+# ----------------------------------------------------------------------
+# Serving-layer invariance: arrival pattern × workers
+# ----------------------------------------------------------------------
+#: How the same 12 (query, mode) submissions reach the server: all before
+#: run() (the PR 5 drain), as a seeded Poisson stream, or as a recorded
+#: trace — open-loop arrivals may only add queue wait, never change what
+#: any single query computes or charges.
+ARRIVAL_PATTERNS = ("drain", "poisson", "trace")
+SERVE_WORKERS = (1, 2)
+
+SERVE_CONFIGS = [
+    pytest.param(pattern, workers, id=f"arrivals={pattern}-workers={workers}")
+    for pattern in ARRIVAL_PATTERNS
+    for workers in SERVE_WORKERS
+]
+
+
+@pytest.mark.parametrize("pattern,workers", SERVE_CONFIGS)
+def test_served_grid_is_bit_identical(tpch_dataset, baseline, pattern,
+                                      workers):
+    """Every served query's record matches the canonical solo baseline,
+    however it arrived and however many dispatch workers ran."""
+    from repro.server import Arrival, QueryServer, trace_arrivals
+
+    records, _ = baseline
+    server = QueryServer(default_server(), workers=workers,
+                         preemption=True, aging_seconds=2e-4)
+    server.register_dataset(tpch_dataset.tables)
+    tenants = ("inter", "norm", "batch")
+    server.open_session("inter", priority="interactive", max_concurrency=2)
+    server.open_session("norm", priority="normal", max_concurrency=2)
+    server.open_session("batch", priority="batch", max_concurrency=2)
+    jobs = []
+    for index, query_name in enumerate(EVALUATED_QUERIES):
+        plan = build_query(query_name, tpch_dataset).plan
+        for offset, mode in enumerate(MODES):
+            tenant = tenants[(index + offset) % len(tenants)]
+            label = f"{query_name}/{mode}"
+            jobs.append((tenant, plan, mode, label, (query_name, mode)))
+
+    if pattern == "drain":
+        for tenant, plan, mode, label, _ in jobs:
+            server.submit(tenant, plan, mode, label=label)
+    elif pattern == "poisson":
+        rng = np.random.default_rng(20260808)
+        arrivals: dict[str, list] = {tenant: [] for tenant in tenants}
+        at = 0.0
+        for tenant, plan, mode, label, _ in jobs:
+            at += float(rng.exponential(3e-5))
+            arrivals[tenant].append(Arrival(at=at, tenant=tenant, plan=plan,
+                                            mode=mode, label=label))
+        for tenant in tenants:
+            server.add_arrivals(arrivals[tenant])
+    else:
+        for tenant in tenants:
+            trace = [(index * 2e-5, plan, mode)
+                     for index, (job_tenant, plan, mode, _, _)
+                     in enumerate(jobs) if job_tenant == tenant]
+            server.add_arrivals(trace_arrivals(tenant, trace))
+
+    report = server.run()
+    assert report.completed == len(jobs)
+    for ticket in report.tickets:
+        if pattern == "trace":
+            # trace_arrivals assigns its own tenant-indexed labels; map
+            # the ticket back through its plan and mode instead.
+            key = next((query_name, mode)
+                       for _, plan, mode, _, (query_name, _) in jobs
+                       if plan is ticket.plan and mode == ticket.mode)
+        else:
+            key = next(job_key for _, _, _, label, job_key in jobs
+                       if label == ticket.label)
+        context = (f"{key[0]}/{key[1]} arrivals={pattern} workers={workers} "
+                   f"tenant={ticket.tenant}")
+        assert _record(ticket.result) == records[key], (
+            f"{context}: served record diverged from the solo baseline")
+        assert ticket.start_time >= ticket.submit_time, (
+            f"{context}: query started before it arrived")
