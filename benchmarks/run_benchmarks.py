@@ -180,8 +180,12 @@ def suite_scale(args: argparse.Namespace) -> dict:
     and records per-count wall-clock plus the speedup over ``workers=1``.
     Alongside the timing it verifies the determinism contract at bench
     scale: simulated seconds, device busy times and link bytes must be
-    bit-identical at every worker count.  ``tools/check_scale.py`` gates
-    on this record.
+    bit-identical at every worker count.  A second leg drains the same
+    workload through a multi-tenant :class:`QueryServer` with the shared
+    query cache ENABLED at workers {1, 2, auto}: ticket statuses,
+    simulated seconds and the tenant-attributed hit/miss counters must
+    be identical at every worker count (the trace/commit attribution
+    contract).  ``tools/check_scale.py`` gates on both records.
     """
     from repro.engine.workers import available_cpus
 
@@ -227,14 +231,120 @@ def suite_scale(args: argparse.Namespace) -> dict:
                 per_workers["1"]["wall_clock_seconds"] / wall
                 if "1" in per_workers and wall > 0 else 1.0),
         }
+    # ---- server-drain leg: shared cache ON, attribution fingerprint ----
+    server_jobs = [(tenant, name) for name in queries
+                   for tenant in ("alpha", "beta", "gamma")]
+
+    def serve_at(workers) -> dict:
+        server = QueryServer(default_server(), workers=workers)
+        server.register_dataset(dataset.tables, replace=True)
+        for tenant in ("alpha", "beta", "gamma"):
+            server.open_session(tenant)
+        for index, (tenant, name) in enumerate(server_jobs):
+            server.submit(tenant, queries[name].plan, "cpu",
+                          label=f"{tenant}:{name}:{index}")
+        report = server.run()
+        totals = server.query_cache.counters()
+        return {
+            "tickets": [
+                {"label": ticket.label, "status": ticket.status,
+                 "simulated_seconds": ticket.simulated_seconds,
+                 "cache_hits": ticket.cache.hits,
+                 "cache_misses": ticket.cache.misses}
+                for ticket in report.tickets],
+            "tenant_counters": {
+                name: {"hits": c.hits, "misses": c.misses}
+                for name, c in sorted(
+                    server.query_cache.tenant_counters().items())},
+            "cache_hits": totals.hits,
+            "cache_misses": totals.misses,
+        }
+
+    server_fingerprints = {str(workers): serve_at(workers)
+                           for workers in (1, 2, "auto")}
+    server_baseline = server_fingerprints["1"]
+    server_identical = all(fingerprint == server_baseline
+                           for fingerprint in server_fingerprints.values())
     return {
         "scale_factor": args.sf,
         "cpu_count": available_cpus(),
         "workers": per_workers,
         "simulated_identical_across_workers": identical,
+        "server_drain": {
+            "jobs": len(server_jobs),
+            "cache_hits": server_baseline["cache_hits"],
+            "cache_misses": server_baseline["cache_misses"],
+            "tenant_counters": server_baseline["tenant_counters"],
+        },
+        "server_cache_identical_across_workers": server_identical,
         "wall_clock_seconds": per_workers["1"]["wall_clock_seconds"],
         "speedup_at_4_workers":
             per_workers["4"]["speedup_vs_one_worker"],
+    }
+
+
+def suite_stats(args: argparse.Namespace) -> dict:
+    """Cardinality-estimation quality of the statistics subsystem.
+
+    Executes every evaluated TPC-H query in hybrid mode and records the
+    per-operator estimated-vs-actual accounting (median and max q-error
+    per query) plus the mode that ``"auto"`` resolution would pick.  A
+    second engine runs with ``use_statistics=False``: for every
+    query/mode whose chosen physical plan is unchanged by statistics the
+    simulated seconds must be bit-identical (estimates influence plan
+    *choice* only, never what a chosen plan computes).
+    ``tools/check_stats.py`` gates on this record.
+    """
+    from repro.engine import OptimizerOptions
+
+    dataset = generate_tpch(args.sf, seed=args.seed)
+    queries = all_queries(dataset)
+    engine = HAPEEngine(default_server(), cache_budget_bytes=0)
+    legacy = HAPEEngine(default_server(), cache_budget_bytes=0,
+                        optimizer_options=OptimizerOptions(
+                            use_statistics=False))
+    engine.register_dataset(dataset.tables, replace=True)
+    legacy.register_dataset(dataset.tables, replace=True)
+
+    per_query: dict[str, dict] = {}
+    sims_identical = True
+
+    def run():
+        return {name: engine.execute(query.plan, "hybrid")
+                for name, query in queries.items()}
+
+    wall, results = _best_wall(args.repeat, run)
+    for name, query in queries.items():
+        report = results[name].cardinality
+        modes: dict[str, dict] = {}
+        for mode in MODES:
+            stats_plan = engine.plan(query.plan, mode).pretty()
+            legacy_plan = legacy.plan(query.plan, mode).pretty()
+            plan_changed = stats_plan != legacy_plan
+            simulated = engine.execute(query.plan, mode).simulated_seconds
+            legacy_simulated = legacy.execute(
+                query.plan, mode).simulated_seconds
+            if not plan_changed and simulated != legacy_simulated:
+                sims_identical = False
+            modes[mode] = {
+                "plan_changed": plan_changed,
+                "simulated_seconds": simulated,
+                "legacy_simulated_seconds": legacy_simulated,
+            }
+        per_query[name] = {
+            "median_q_error": report.median_q_error,
+            "max_q_error": report.max_q_error,
+            "operators": len(report.operators),
+            "auto_mode": engine.resolve_mode(query.plan, "auto").value,
+            "modes": modes,
+        }
+    return {
+        "scale_factor": args.sf,
+        "wall_clock_seconds": wall,
+        "queries": per_query,
+        "worst_median_q_error": max(
+            record["median_q_error"] for record in per_query.values()),
+        "sims_identical_for_unchanged_plans": sims_identical,
     }
 
 
@@ -771,6 +881,7 @@ def main(argv: list[str] | None = None) -> int:
         "tpch": lambda: suite_tpch(args, topology),
         "tpch_warm": lambda: suite_tpch_warm(args, topology),
         "scale": lambda: suite_scale(args),
+        "stats": lambda: suite_stats(args),
         "mem": lambda: suite_mem(args, topology),
         "serve": lambda: suite_serve(args),
         "chaos": lambda: suite_chaos(args),
@@ -812,6 +923,12 @@ def main(argv: list[str] | None = None) -> int:
                 f", {scaling}, 4-worker speedup "
                 f"{record['speedup_at_4_workers']:.2f}x, sims identical="
                 f"{record['simulated_identical_across_workers']}")
+        if "worst_median_q_error" in suites[name]:
+            record = suites[name]
+            summary += (
+                f", worst median q-error "
+                f"{record['worst_median_q_error']:.2f}, sims identical for "
+                f"unchanged plans={record['sims_identical_for_unchanged_plans']}")
         if "deterministic_replay" in suites[name]:
             record = suites[name]
             summary += (

@@ -91,9 +91,14 @@ def main() -> int:
     # ------------------------------------------------------------------
     # 2. The paper's Q9 failure mode: GPU overflow degrades the query.
     # ------------------------------------------------------------------
-    overflow = (scan("orders")
-                .filter(col("o_orderkey") >= lit(0))
-                .filter(col("o_custkey") >= lit(0))
+    # Four copies of the same filter: the estimator's independence
+    # assumption discounts the build 16x below its true size, so the
+    # optimizer keeps the join GPU-resident and the overflow only shows
+    # up when the executor enforces device memory at run time.
+    filtered = scan("orders")
+    for _ in range(4):
+        filtered = filtered.filter(col("o_orderkey") >= lit(7500))
+    overflow = (filtered
                 .join(scan("lineitem", ["l_orderkey", "l_extendedprice"]),
                       ["o_orderkey"], ["l_orderkey"])
                 .aggregate([], [agg_sum(col("l_extendedprice"), "s")]))

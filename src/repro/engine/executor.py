@@ -351,7 +351,8 @@ class _FilterProjectStage:
     independent of completion order.
     """
 
-    __slots__ = ("node", "referenced", "in_rows", "touched", "out_nbytes")
+    __slots__ = ("node", "referenced", "in_rows", "touched", "out_nbytes",
+                 "out_rows")
 
     def __init__(self, node: PFilterProject) -> None:
         self.node = node
@@ -359,6 +360,7 @@ class _FilterProjectStage:
         self.in_rows = 0
         self.touched = 0
         self.out_nbytes = 0
+        self.out_rows = 0
 
     def place(self, executor: "Executor",
               devices: list[Device]) -> list[Device]:
@@ -366,32 +368,35 @@ class _FilterProjectStage:
 
     def begin(self, executor: "Executor") -> None:
         record_kernel_invocation("filter_project")
-        self.in_rows = self.touched = self.out_nbytes = 0
+        self.in_rows = self.touched = self.out_nbytes = self.out_rows = 0
 
     def transform(self, batch: ArrayMap) -> tuple[ArrayMap, object]:
         in_rows = columns_num_rows(batch)
         touched = touched_bytes(batch, self.referenced)
         out = filter_project_morsel(batch, predicate=self.node.predicate,
                                     projections=self.node.projections)
-        return out, (in_rows, touched, columns_nbytes(out))
+        return out, (in_rows, touched, columns_nbytes(out),
+                     columns_num_rows(out))
 
     def absorb(self, contribution: object) -> None:
-        in_rows, touched, out_nbytes = contribution  # type: ignore[misc]
+        in_rows, touched, out_nbytes, out_rows = contribution  # type: ignore[misc]
         self.in_rows += in_rows
         self.touched += touched
         self.out_nbytes += out_nbytes
+        self.out_rows += out_rows
 
     def finish(self) -> object:
         return (FilterProjectStats(num_rows=self.in_rows,
                                    touched_bytes=self.touched),
-                self.out_nbytes)
+                self.out_nbytes, self.out_rows)
 
     def tag_through(self, tag: tuple) -> tuple:
         return tag
 
     def replay(self, executor: "Executor", meta: _StageMeta,
                record: object) -> _StageMeta:
-        stats, out_nbytes = record  # type: ignore[misc]
+        stats, out_nbytes, out_rows = record  # type: ignore[misc]
+        executor._note_rows(self.node, out_rows)
         meta = executor._charge_filter_project(self.node, meta, stats)
         meta.nbytes = out_nbytes
         return meta
@@ -413,7 +418,7 @@ class _HashJoinProbeStage:
     """
 
     __slots__ = ("node", "build", "builder", "devices", "probe_rows",
-                 "probe_nbytes", "out_nbytes")
+                 "probe_nbytes", "out_nbytes", "out_rows")
 
     def __init__(self, node: PJoin, build: NodeResult) -> None:
         self.node = node
@@ -423,6 +428,7 @@ class _HashJoinProbeStage:
         self.probe_rows = 0
         self.probe_nbytes = 0
         self.out_nbytes = 0
+        self.out_rows = 0
 
     def place(self, executor: "Executor",
               devices: list[Device]) -> list[Device]:
@@ -432,6 +438,7 @@ class _HashJoinProbeStage:
     def begin(self, executor: "Executor") -> None:
         record_kernel_invocation("hash_join")
         self.probe_rows = self.probe_nbytes = self.out_nbytes = 0
+        self.out_rows = 0
         # GPU capacity is checked *before* any streaming work, exactly
         # like the unfused path checks before evaluating the kernel: an
         # oversized build (the Q9 failure mode) raises without
@@ -455,13 +462,15 @@ class _HashJoinProbeStage:
         probe_rows = columns_num_rows(batch)
         probe_nbytes = columns_nbytes(batch)
         out = self.builder.probe(batch, probe_keys=self.node.probe_keys)
-        return out, (probe_rows, probe_nbytes, columns_nbytes(out))
+        return out, (probe_rows, probe_nbytes, columns_nbytes(out),
+                     columns_num_rows(out))
 
     def absorb(self, contribution: object) -> None:
-        probe_rows, probe_nbytes, out_nbytes = contribution  # type: ignore[misc]
+        probe_rows, probe_nbytes, out_nbytes, out_rows = contribution  # type: ignore[misc]
         self.probe_rows += probe_rows
         self.probe_nbytes += probe_nbytes
         self.out_nbytes += out_nbytes
+        self.out_rows += out_rows
 
     def finish(self) -> object:
         assert self.builder is not None
@@ -473,14 +482,15 @@ class _HashJoinProbeStage:
             output_nbytes=self.out_nbytes,
         )
         self.builder = None  # the index dies with the streamed run
-        return stats
+        return stats, self.out_rows
 
     def tag_through(self, tag: tuple) -> tuple:
         return self.build.kernel_tag + tag
 
     def replay(self, executor: "Executor", meta: _StageMeta,
                record: object) -> _StageMeta:
-        stats: JoinStats = record  # type: ignore[assignment]
+        stats, out_rows = record  # type: ignore[misc]
+        executor._note_rows(self.node, out_rows)
         earliest = max(self.build.ready, meta.ready)
         devices = meta.devices or executor._default_devices()
         ready_build = executor._prepare_hash_join(self.build, devices,
@@ -516,6 +526,11 @@ class ExecutionResult:
     #: widest single operator output; base-table scans excluded).  A
     #: wall-clock/working-set diagnostic — never part of simulated time.
     peak_intermediate_bytes: int = 0
+    #: Actual output rows per plan ``node_id`` for the relational
+    #: operators (scans, filter/projects, joins, aggregates, sorts;
+    #: exchanges forward batches and are excluded).  Identical warm and
+    #: cold: warm runs recover the counts from the cached stats records.
+    operator_rows: dict[int, int] = field(default_factory=dict)
 
     def utilization(self, resource: str) -> float:
         if self.simulated_seconds <= 0:
@@ -650,6 +665,7 @@ class Executor:
         self.topology.reset()
         self.scheduler.reset()
         self._peak_intermediate = 0
+        self._node_rows: dict[int, int] = {}
         self._query_memo = {}
         self._key_cache = {}
         # Snapshot the catalog versions once: the catalog cannot change
@@ -688,6 +704,7 @@ class Executor:
             morsels_dispatched=self.scheduler.morsels_dispatched,
             cache=cache_delta,
             peak_intermediate_bytes=self._peak_intermediate,
+            operator_rows=dict(self._node_rows),
         )
 
     # ------------------------------------------------------------------
@@ -1081,7 +1098,9 @@ class Executor:
     # ------------------------------------------------------------------
     def _execute(self, node: PhysicalOp) -> NodeResult:
         if isinstance(node, PScan):
-            return self._execute_scan(node)
+            result = self._execute_scan(node)
+            self._note_rows(node, result.num_rows)
+            return result
         if isinstance(node, Router):
             result = self._execute_router(node)
         elif isinstance(node, MemMove):
@@ -1101,7 +1120,13 @@ class Executor:
         # Exchange operators forward their child's columns, so counting
         # them re-measures the same batch — harmless for a running max.
         self._peak_intermediate = max(self._peak_intermediate, result.nbytes)
+        if isinstance(node, (PFilterProject, PAggregate, PJoin, PSort)):
+            self._note_rows(node, result.num_rows)
         return result
+
+    def _note_rows(self, node: PhysicalOp, rows: int) -> None:
+        """Record an operator's actual output rows (q-error accounting)."""
+        self._node_rows[node.node_id] = int(rows)
 
     def _execute_scan(self, node: PScan) -> NodeResult:
         table = self.catalog.table(node.table)

@@ -43,8 +43,13 @@ from ..relational.physical import (
     RoutingPolicy,
 )
 from ..relational.traits import Packing, Traits
+from ..stats.cardinality import CardinalityEstimator
 from ..storage.catalog import Catalog
 from .modes import ExecutionMode
+
+#: Minimum estimated bytes shipped to the accelerator for a GPU-resident
+#: plan to amortize the PCIe crossing; below it auto mode stays on CPUs.
+GPU_OFFLOAD_MIN_BYTES = 32 << 20
 
 
 @dataclass(frozen=True)
@@ -54,6 +59,12 @@ class OptimizerOptions:
     routing_policy: RoutingPolicy = RoutingPolicy.LOAD_AWARE
     prefer_partitioned_gpu_join: bool = True
     small_build_rows: int = 2_000_000
+    #: When true (the default) row estimates come from the catalog's
+    #: per-column statistics (:mod:`repro.stats`); when false the legacy
+    #: base-bytes heuristic with ``FILTER_SELECTIVITY`` is used.  Either
+    #: way the chosen plan computes identical results — the knob exists
+    #: for ablations and the fuzzer's stats-on/off axis.
+    use_statistics: bool = True
 
 
 class Optimizer:
@@ -64,6 +75,7 @@ class Optimizer:
         self.topology = topology
         self.catalog = catalog
         self.options = options or OptimizerOptions()
+        self.estimator = CardinalityEstimator(catalog)
 
     # ------------------------------------------------------------------
     def optimize(self, plan: LogicalPlan,
@@ -109,11 +121,25 @@ class Optimizer:
             packing=Packing.PACKET,
         )
 
-    #: Default selectivity assumed for each filter when estimating join
-    #: build sizes (the optimizer has no histograms in this prototype).
+    #: Legacy per-filter selectivity, used only with
+    #: ``use_statistics=False`` (or when a plan references unregistered
+    #: tables and the estimator cannot back an estimate).
     FILTER_SELECTIVITY = 0.3
 
     def _estimate_rows(self, plan: LogicalPlan) -> int:
+        """Estimated output rows of a logical (sub-)plan."""
+        rows, _ = self._estimate_rows_backed(plan)
+        return rows
+
+    def _estimate_rows_backed(self, plan: LogicalPlan) -> tuple[int, bool]:
+        """Row estimate plus whether catalog statistics back it."""
+        if self.options.use_statistics:
+            estimate = self.estimator.estimate(plan)
+            if estimate.backed:
+                return max(self.estimator.estimate_rows(plan), 1), True
+        return self._heuristic_rows(plan), False
+
+    def _heuristic_rows(self, plan: LogicalPlan) -> int:
         """Row estimate: largest base table underneath, discounted by filters."""
         tables = plan.referenced_tables()
         if not tables:
@@ -122,6 +148,48 @@ class Optimizer:
                    if table in self.catalog)
         filters = sum(1 for node in plan.walk() if isinstance(node, Filter))
         return max(int(base * (self.FILTER_SELECTIVITY ** filters)), 1)
+
+    # ------------------------------------------------------------------
+    def choose_mode(self, plan: LogicalPlan) -> ExecutionMode:
+        """Resolve ``"auto"``: pick cpu/gpu/hybrid from estimated work.
+
+        The decision follows the paper's premise that placement should be
+        chosen from estimated bytes moved per device: plans whose
+        estimated working set cannot fit the accelerator co-process
+        (hybrid), plans too small to amortize the PCIe crossing stay on
+        CPUs, everything else offloads.  Without statistics-backed
+        estimates the hedge is hybrid — both device kinds contribute and
+        nothing is refused on a guess.
+        """
+        gpus = self.topology.available_gpus()
+        if not gpus:
+            return ExecutionMode.CPU_ONLY
+        if not self.topology.available_cpus():
+            return ExecutionMode.GPU_ONLY
+        working_set = self.estimator.working_set(plan)
+        if not (self.options.use_statistics and working_set.backed):
+            return ExecutionMode.HYBRID
+        gpu_capacity = min(gpu.spec.memory_capacity_bytes for gpu in gpus)
+        if (working_set.largest_build_bytes * 4 >= gpu_capacity
+                or working_set.total_bytes * 2 >= gpu_capacity):
+            return ExecutionMode.HYBRID
+        moved = self._estimated_scan_bytes(plan)
+        if moved < GPU_OFFLOAD_MIN_BYTES:
+            return ExecutionMode.CPU_ONLY
+        return ExecutionMode.GPU_ONLY
+
+    def _estimated_scan_bytes(self, plan: LogicalPlan) -> int:
+        """Bytes a GPU-resident plan ships over PCIe: the scanned columns."""
+        total = 0
+        for node in plan.walk():
+            if not isinstance(node, Scan) or node.table not in self.catalog:
+                continue
+            statistics = self.catalog.statistics(node.table)
+            names = node.columns if node.columns else tuple(statistics.columns)
+            for name in names:
+                column = statistics.column(name)
+                total += column.nbytes if column is not None else 0
+        return total
 
     # ------------------------------------------------------------------
     def _convert(self, plan: LogicalPlan, mode: ExecutionMode) -> PhysicalOp:
@@ -187,7 +255,8 @@ class Optimizer:
 
     # ------------------------------------------------------------------
     def _choose_join_algorithm(self, build_rows: int, probe_rows: int,
-                               mode: ExecutionMode) -> JoinAlgorithm:
+                               mode: ExecutionMode, *,
+                               backed: bool = True) -> JoinAlgorithm:
         build_bytes = build_rows * HASH_ENTRY_BYTES
         if mode is ExecutionMode.CPU_ONLY:
             cpu = self.topology.available_cpus()[0]
@@ -201,10 +270,18 @@ class Optimizer:
         fits_in_gpu = build_bytes * 4 < gpu_capacity
         if mode is ExecutionMode.GPU_ONLY:
             if not fits_in_gpu:
-                raise OptimizerError(
-                    "GPU-only execution impossible: the join build side "
-                    f"({build_bytes} bytes of hash tables) exceeds GPU memory"
-                )
+                # Refuse only on statistics-backed estimates.  A guessed
+                # build size is not grounds to reject the plan: if the
+                # true build genuinely overflows, the executor's GPU
+                # memory enforcement raises at run time and the serving
+                # layer's fault ladder degrades the mode.
+                if backed:
+                    raise OptimizerError(
+                        "GPU-only execution impossible: the join build side "
+                        f"({build_bytes} bytes of hash tables) exceeds GPU "
+                        "memory"
+                    )
+                return JoinAlgorithm.RADIX_GPU
             if (self.options.prefer_partitioned_gpu_join
                     and build_rows > self.options.small_build_rows):
                 return JoinAlgorithm.RADIX_GPU
@@ -218,8 +295,8 @@ class Optimizer:
         return JoinAlgorithm.NON_PARTITIONED
 
     def _convert_join(self, plan: Join, mode: ExecutionMode) -> PhysicalOp:
-        left_rows = self._estimate_rows(plan.left)
-        right_rows = self._estimate_rows(plan.right)
+        left_rows, left_backed = self._estimate_rows_backed(plan.left)
+        right_rows, right_backed = self._estimate_rows_backed(plan.right)
         # The smaller input becomes the build side.  ``swapped`` records
         # when that is the logical *right* input, so the join kernels can
         # emit the canonical (reference-identical) output row order no
@@ -229,11 +306,18 @@ class Optimizer:
             build_plan, probe_plan = plan.left, plan.right
             build_keys, probe_keys = plan.left_keys, plan.right_keys
             build_rows, probe_rows = left_rows, right_rows
+            build_backed = left_backed
         else:
             build_plan, probe_plan = plan.right, plan.left
             build_keys, probe_keys = plan.right_keys, plan.left_keys
             build_rows, probe_rows = right_rows, left_rows
-        algorithm = self._choose_join_algorithm(build_rows, probe_rows, mode)
+            build_backed = right_backed
+        # With use_statistics off the legacy contract holds: heuristic
+        # estimates keep refusing oversized GPU-only builds at plan time.
+        refuse_on_overflow = (build_backed
+                              or not self.options.use_statistics)
+        algorithm = self._choose_join_algorithm(build_rows, probe_rows, mode,
+                                                backed=refuse_on_overflow)
         # Build sides are produced by CPU pipelines (dimension tables live in
         # CPU memory); the join itself runs wherever the probe pipeline runs.
         build_mode = (ExecutionMode.CPU_ONLY

@@ -27,6 +27,7 @@ from ..codegen.pipeline import Pipeline, break_into_pipelines
 from ..hardware.topology import Topology, default_server
 from ..relational.logical import LogicalPlan
 from ..relational.physical import PhysicalOp
+from ..stats.cardinality import CardinalityReport, build_report
 from ..storage.catalog import Catalog
 from ..storage.table import Table
 from .executor import ExecutionResult, Executor, ExecutorOptions
@@ -70,6 +71,11 @@ class QueryResult:
     #: materialized (scans excluded) — the per-query working-set figure
     #: multi-tenant serving reports account against memory budgets.
     peak_intermediate_bytes: int = 0
+    #: Estimated vs. actual output rows per executed operator, with
+    #: q-errors — the estimation-quality accounting the ``stats`` bench
+    #: suite tracks over time.  Purely diagnostic: estimates influence
+    #: plan *choice* only, never what a chosen plan computes.
+    cardinality: CardinalityReport = field(default_factory=CardinalityReport)
 
     @property
     def makespan_ms(self) -> float:
@@ -87,6 +93,10 @@ class QueryResult:
         ]
         if self.cache.lookups or self.cache.evicted or self.cache.invalidated:
             lines.append(f"  cache: {self.cache.describe()}")
+        if self.cardinality.operators:
+            lines.append(f"  cardinality: median q-error "
+                         f"{self.cardinality.median_q_error:.2f} "
+                         f"(max {self.cardinality.max_q_error:.2f})")
         for resource, busy in sorted(self.device_busy.items()):
             if busy > 0:
                 lines.append(f"  {resource:>8}: busy {busy * 1e3:.3f} ms "
@@ -316,10 +326,24 @@ class HAPEEngine:
     # ------------------------------------------------------------------
     # Planning and execution
     # ------------------------------------------------------------------
+    def resolve_mode(self, logical: LogicalPlan,
+                     mode: ExecutionMode | str) -> ExecutionMode:
+        """Parse a mode request, resolving ``"auto"`` from estimated work.
+
+        ``"auto"`` asks the optimizer to pick cpu/gpu/hybrid from the
+        statistics-backed working-set estimate of the plan
+        (:meth:`repro.engine.optimizer.Optimizer.choose_mode`); every
+        other spelling parses as usual.
+        """
+        if isinstance(mode, str) and mode.lower() == "auto":
+            return self.optimizer.choose_mode(logical)
+        return ExecutionMode.parse(mode)
+
     def plan(self, logical: LogicalPlan,
              mode: ExecutionMode | str = ExecutionMode.HYBRID) -> PhysicalOp:
         """Lower a logical plan without executing it."""
-        return self.optimizer.optimize(logical, mode)
+        return self.optimizer.optimize(logical,
+                                       self.resolve_mode(logical, mode))
 
     def explain(self, logical: LogicalPlan,
                 mode: ExecutionMode | str = ExecutionMode.HYBRID) -> str:
@@ -343,7 +367,7 @@ class HAPEEngine:
         functional answer, the simulated timing/utilization breakdown and
         the cache counters for this query.
         """
-        mode = ExecutionMode.parse(mode)
+        mode = self.resolve_mode(logical, mode)
         physical = self.plan(logical, mode)
         pipelines = break_into_pipelines(physical)
         result: ExecutionResult = self.executor.execute(physical)
@@ -358,6 +382,9 @@ class HAPEEngine:
             morsels_dispatched=result.morsels_dispatched,
             cache=result.cache,
             peak_intermediate_bytes=result.peak_intermediate_bytes,
+            cardinality=build_report(
+                self.optimizer.estimator.estimate_physical(physical),
+                result.operator_rows),
         )
 
 

@@ -25,6 +25,7 @@ from dataclasses import dataclass, replace
 
 from ..engine.session import QueryResult
 from ..hardware.clock import TaskRecord
+from ..hardware.specs import DeviceKind
 from ..hardware.topology import Topology
 
 
@@ -85,6 +86,29 @@ class DeviceScheduler:
             anchors = self.topology.available_cpus() or self.topology.cpus()
             reservations = {anchors[0].name: makespan}
         return reservations
+
+    def least_loaded_kind(self) -> DeviceKind:
+        """The available device kind with the lowest mean occupancy load.
+
+        Load is the occupancy board's accumulated busy seconds averaged
+        over the kind's available devices — how much server time this
+        epoch has already committed to that silicon.  Ties (including a
+        fresh board) go to the CPUs: host memory is the cheaper place to
+        be wrong, and the fresh-board choice keeps single-query epochs
+        deterministic.  Used by the server to place mode-unconstrained
+        (``"auto"``) queries on whichever kind is currently idler.
+        """
+        board = self.topology.occupancy
+        best, best_load = DeviceKind.CPU, None
+        for kind, devices in ((DeviceKind.CPU, self.topology.available_cpus()),
+                              (DeviceKind.GPU, self.topology.available_gpus())):
+            if not devices:
+                continue
+            load = (sum(board.clock(device.name).busy_time
+                        for device in devices) / len(devices))
+            if best_load is None or load < best_load:
+                best, best_load = kind, load
+        return best
 
     def dispatch(self, result: QueryResult, *, earliest: float,
                  label: str, fraction: float = 1.0) -> Placement:

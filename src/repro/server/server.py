@@ -72,15 +72,17 @@ from ..errors import (
     UnknownTenantError,
 )
 from ..faults import CircuitBreaker, FaultInjector, FaultPlan, InjectedFault
+from ..hardware.specs import DeviceKind
 from ..hardware.topology import Topology, default_server
 from ..relational.logical import LogicalPlan
+from ..stats.cardinality import CardinalityEstimator
 from ..storage.catalog import Catalog
 from ..storage.table import Table
 from .admission import AdmissionController, RetryPolicy, TenantPolicy
 from .arrivals import Arrival, ArrivalSource
 from .metrics import MetricsSnapshot
 from .scheduler import DeviceScheduler, Placement
-from .sharedcache import SharedQueryCache
+from .sharedcache import CacheBracket, SharedQueryCache
 
 #: Mode-degradation ladder for device-scoped failures: a query that cannot
 #: run in its mode is re-planned one rung down.  CPU-only has no rung left.
@@ -357,12 +359,13 @@ class QueryServer:
     workers:
         Worker threads the drain uses to execute admitted queries from
         different tenants concurrently (``"auto"`` = CPU count).  The
-        default ``1`` keeps the fully serial drain.  Functional results
-        and per-query simulated seconds are identical either way; shared
-        cache hit/miss *attribution* can shift under true concurrency
-        (two tenants racing to compute the same kernel both count a
-        miss), so workloads asserting exact cache counters should keep
-        the default.
+        default ``1`` keeps the fully serial drain.  Functional results,
+        per-query simulated seconds *and* shared-cache hit/miss
+        attribution are identical at every worker count: cache traffic
+        is traced per attempt and committed on the coordinating thread
+        in canonical admission pick order, so two tenants racing to
+        compute the same kernel charge exactly one miss (the earlier
+        pick) and one hit, just as a serial drain would.
     preemption:
         When ``True``, an interactive arrival that would otherwise wait
         may kill a running batch-priority attempt at its next morsel
@@ -407,6 +410,10 @@ class QueryServer:
         self.admission = AdmissionController(aging_seconds=aging_seconds)
         self.scheduler = DeviceScheduler(
             self.topology, occupancy_threshold=occupancy_threshold)
+        #: Statistics-backed cardinality estimator over the shared
+        #: catalog: admission working-set estimates and auto-mode
+        #: placement read it.
+        self.estimator = CardinalityEstimator(self.catalog)
         self.fault_plan = fault_plan or FaultPlan()
         self.retry_policy = retry_policy or RetryPolicy()
         self.breaker_threshold = breaker_threshold
@@ -502,6 +509,12 @@ class QueryServer:
                deadline: float | None = None) -> QueryTicket:
         """Queue one query for ``tenant``; may raise :class:`AdmissionError`.
 
+        ``mode`` may be ``"auto"``: the server resolves it at dispatch
+        time — cpu/gpu when only one kind survives, hybrid when the
+        statistics-backed working set overflows GPU memory (or is
+        unbacked), otherwise whichever device kind the occupancy board
+        reports least loaded (see :meth:`_resolve_auto_mode`).
+
         ``at`` is the simulated submission time (seconds of server time;
         queries of one tenant dispatch FIFO).  ``deadline`` (seconds after
         submission) bounds the query end-to-end — retries, failovers and
@@ -536,10 +549,48 @@ class QueryServer:
         return ticket
 
     def _estimate_bytes(self, plan: LogicalPlan) -> int:
-        """Admission-time working-set estimate: bytes of referenced tables."""
+        """Admission-time working-set estimate for memory budgeting.
+
+        Statistics-backed when every referenced table has catalog
+        statistics and every predicate resolved: the estimator's working
+        set — peak estimated intermediate bytes plus pinned join build
+        hash tables — so a highly selective query over a huge table
+        charges only what it materializes, not the table it streams.
+        Falls back to the conservative legacy estimate (the full bytes of
+        every referenced table) when the estimate is unbacked.
+        """
+        working_set = self.estimator.working_set(plan)
+        if working_set.backed:
+            return int(working_set.total_bytes)
         return int(sum(self.catalog.stats(name).nbytes
                        for name in plan.referenced_tables()
                        if name in self.catalog))
+
+    def _resolve_auto_mode(self, ticket: QueryTicket) -> str:
+        """Pick a concrete mode for a mode-unconstrained submission.
+
+        Resolved at dispatch bookkeeping time (not submit time) so the
+        decision sees the breaker/fault state of the devices and the
+        occupancy the epoch has accumulated so far: no surviving GPUs
+        forces cpu, no surviving CPUs forces gpu, an unbacked or
+        GPU-oversized working set co-processes (hybrid), and otherwise
+        the query lands on whichever device kind the occupancy board
+        says is least loaded.  The resolved mode then walks the normal
+        failover ladder like any explicit mode.
+        """
+        gpus = self.topology.available_gpus()
+        if not gpus:
+            return "cpu"
+        if not self.topology.available_cpus():
+            return "gpu"
+        working_set = self.estimator.working_set(ticket.plan)
+        gpu_capacity = min(gpu.spec.memory_capacity_bytes for gpu in gpus)
+        if (not working_set.backed
+                or working_set.largest_build_bytes * 4 >= gpu_capacity
+                or working_set.total_bytes * 2 >= gpu_capacity):
+            return "hybrid"
+        kind = self.scheduler.least_loaded_kind()
+        return "cpu" if kind is DeviceKind.CPU else "gpu"
 
     # ------------------------------------------------------------------
     # Open-loop arrivals
@@ -614,6 +665,9 @@ class QueryServer:
             cooldown_seconds=self.breaker_cooldown_seconds)
         self._injector, self._breaker = injector, breaker
         self.topology.reset_occupancy()
+        # Seed the epoch's canonical cache-key set: commits classify
+        # hits/misses against it in pick order (see SharedQueryCache).
+        self.query_cache.begin_epoch()
         completions: list[tuple[float, int, _Attempt]] = []
         try:
             self._drain(completions)
@@ -640,15 +694,12 @@ class QueryServer:
         self._apply_faults(now, completions)
         self._pump_arrivals(now)
         while True:
-            if self._pool.parallel:
-                self._dispatch_admissible_parallel(now, completions)
-            else:
-                while True:
-                    pick = self.admission.next_admissible(now)
-                    if pick is None:
-                        break
-                    tenant, ticket, _ = pick
-                    self._dispatch(tenant, ticket, now, completions)
+            # One dispatch path at every worker count: the serial pool
+            # simply maps execution groups in order on this thread, so
+            # workers=1 exercises the same bookkeeping/execute/commit
+            # phases (and the same deterministic cache attribution) as a
+            # concurrent drain.
+            self._dispatch_admissible(now, completions)
             events = []
             while completions and completions[0][2].cancelled:
                 heapq.heappop(completions)
@@ -718,48 +769,25 @@ class QueryServer:
     # ------------------------------------------------------------------
     # Dispatch: one execution attempt
     # ------------------------------------------------------------------
-    def _dispatch(self, tenant: str, ticket: QueryTicket, now: float,
-                  completions: list) -> None:
-        deadline = ticket.deadline_time
-        if deadline is not None and now >= deadline:
-            self.admission.on_finish(tenant, ticket.estimated_bytes)
-            self._finalize_timeout(ticket, now)
-            return
-        ticket.attempts += 1
-        ticket.status = "running"
-        result, cache_delta, error = self._execute_attempt(tenant, ticket)
-        if error is not None:
-            # Planning/allocation failures strike before any simulated
-            # work: the attempt burns no device time, only its slot.
-            self.admission.on_finish(tenant, ticket.estimated_bytes)
-            self._route_failure(ticket, now, error)
-            return
-        self._enqueue_attempt(tenant, ticket, now, completions,
-                              result, cache_delta)
-
     def _execute_attempt(self, tenant: str, ticket: QueryTicket) -> tuple[
-            QueryResult | None, CacheCounters | None, ReproError | None]:
+            QueryResult | None, CacheBracket, ReproError | None]:
         """Functionally execute one attempt (safe off the drain thread).
 
         Touches only thread-safe state: the tenant's session (one thread
         runs a given tenant at a time), the shared cache and the
         catalog.  No admission, occupancy or ticket bookkeeping happens
-        here — that stays on the coordinating thread.
+        here — that stays on the coordinating thread.  Cache traffic is
+        *traced* into the returned bracket, not counted: the coordinating
+        thread commits brackets in canonical pick order, which is what
+        makes hit/miss attribution deterministic at any worker count.
         """
         session = self.session(tenant)
-        # Per-ticket cache counters come from the shared cache's
-        # tenant-scoped attribution, not the executor's session-level
-        # delta: with many executors sharing one cache, only the traffic
-        # bracketed by ``tenant()`` belongs to this query.
-        before = self.query_cache.tenant_counters().get(tenant,
-                                                        CacheCounters())
-        try:
-            with self.query_cache.tenant(tenant):
+        with self.query_cache.tenant(tenant) as bracket:
+            try:
                 result = session.execute(ticket.plan, ticket.current_mode)
-        except ReproError as error:
-            return None, None, error
-        after = self.query_cache.tenant_counters()[tenant]
-        return result, after.since(before), None
+            except ReproError as error:
+                return None, bracket, error
+        return result, bracket, None
 
     def _enqueue_attempt(self, tenant: str, ticket: QueryTicket, now: float,
                          completions: list, result: QueryResult,
@@ -898,17 +926,20 @@ class QueryServer:
                                estimated_bytes=ticket.estimated_bytes,
                                at=kill)
 
-    def _dispatch_admissible_parallel(self, now: float,
-                                      completions: list) -> None:
-        """Drain every currently admissible pick using worker threads.
+    def _dispatch_admissible(self, now: float, completions: list) -> None:
+        """Drain every currently admissible pick (workers optional).
 
         Three phases per batch, repeated until nothing is admissible:
-        bookkeeping (deadline checks, attempt counting) in pick order on
-        this thread; functional execution grouped by tenant on worker
-        threads (sessions are not reentrant, so one tenant's picks run
-        sequentially inside their group); then post-processing — failure
-        routing and occupancy reservations — back on this thread in pick
-        order, which keeps the board's order-sensitive ledgers canonical.
+        bookkeeping (deadline checks, attempt counting, auto-mode
+        resolution) in pick order on this thread; functional execution
+        grouped by tenant on worker threads (sessions are not reentrant,
+        so one tenant's picks run sequentially inside their group); then
+        post-processing — cache-bracket commits, failure routing and
+        occupancy reservations — back on this thread in pick order, which
+        keeps both the board's order-sensitive ledgers and the shared
+        cache's hit/miss attribution canonical.  With ``workers=1`` the
+        pool maps the groups serially on this thread, same phases, same
+        attribution.
         """
         while True:
             picks = []
@@ -927,6 +958,8 @@ class QueryServer:
                     self.admission.on_finish(tenant, ticket.estimated_bytes)
                     self._finalize_timeout(ticket, now)
                     continue
+                if ticket.current_mode == "auto":
+                    ticket.current_mode = self._resolve_auto_mode(ticket)
                 ticket.attempts += 1
                 ticket.status = "running"
                 runnable.append((tenant, ticket))
@@ -942,10 +975,14 @@ class QueryServer:
             outcomes: dict[int, tuple] = {}
             for group in self._pool.map_ordered(run_group,
                                                 list(groups.items())):
-                for ticket, result, cache_delta, error in group:
-                    outcomes[ticket.ticket_id] = (result, cache_delta, error)
+                for ticket, result, bracket, error in group:
+                    outcomes[ticket.ticket_id] = (result, bracket, error)
             for tenant, ticket in runnable:
-                result, cache_delta, error = outcomes[ticket.ticket_id]
+                result, bracket, error = outcomes[ticket.ticket_id]
+                # Commit in pick order even for failed attempts: the
+                # lookups they performed before failing are real traffic
+                # and keep global/tenant counters reconciled exactly.
+                cache_delta = self.query_cache.commit(bracket)
                 if error is not None:
                     self.admission.on_finish(tenant, ticket.estimated_bytes)
                     self._route_failure(ticket, now, error)

@@ -1,0 +1,62 @@
+"""Statistics subsystem: collection + cardinality estimation.
+
+:mod:`repro.stats.statistics` collects per-column statistics (row counts,
+NDV, min/max, equi-width histograms) at catalog ``register()`` time;
+:mod:`repro.stats.cardinality` turns them into per-operator row and
+working-set estimates that drive the optimizer's mode choice, join
+ordering and algorithm selection, the device scheduler's placement, and
+the server's admission budgets.
+"""
+
+from .statistics import (
+    DEFAULT_HISTOGRAM_BINS,
+    ColumnStats,
+    Histogram,
+    TableStatistics,
+    collect_table_statistics,
+)
+
+# The estimator half is loaded lazily (PEP 562): the catalog imports
+# `.statistics` at storage-package import time, while `.cardinality`
+# depends on the relational/operator layers — which themselves import the
+# storage package.  Deferring the import breaks the cycle.
+_CARDINALITY_NAMES = frozenset({
+    "CONJUNCTION_FLOOR",
+    "DEFAULT_SELECTIVITY",
+    "CardinalityEstimator",
+    "CardinalityReport",
+    "ColumnEstimate",
+    "OperatorCardinality",
+    "OperatorEstimate",
+    "RelationEstimate",
+    "WorkingSetEstimate",
+    "build_report",
+    "q_error",
+})
+
+
+def __getattr__(name: str):
+    if name in _CARDINALITY_NAMES:
+        from . import cardinality
+
+        return getattr(cardinality, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+__all__ = [
+    "DEFAULT_HISTOGRAM_BINS",
+    "ColumnStats",
+    "Histogram",
+    "TableStatistics",
+    "collect_table_statistics",
+    "CONJUNCTION_FLOOR",
+    "DEFAULT_SELECTIVITY",
+    "CardinalityEstimator",
+    "CardinalityReport",
+    "ColumnEstimate",
+    "OperatorCardinality",
+    "OperatorEstimate",
+    "RelationEstimate",
+    "WorkingSetEstimate",
+    "build_report",
+    "q_error",
+]

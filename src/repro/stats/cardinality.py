@@ -1,0 +1,553 @@
+"""Cardinality estimation over logical and physical plans.
+
+The estimation half of the statistics subsystem
+(:mod:`repro.stats.statistics` is the collection half).  A
+:class:`CardinalityEstimator` walks a plan bottom-up propagating a
+:class:`RelationEstimate` — estimated rows plus per-column NDV / range /
+histogram summaries — applying the textbook rules the paper's optimizer
+assumes it has:
+
+* **Equality** against a literal selects ``1 / NDV`` of the rows (zero
+  when the literal falls outside the column's min/max range).
+* **Range** predicates take their selectivity from the equi-width
+  histogram's mass (linear interpolation inside a bin).
+* **Conjunctions** multiply under the independence assumption with a
+  damping floor (:data:`CONJUNCTION_FLOOR`), so stacked correlated
+  predicates cannot talk the estimate down to nothing; disjunctions use
+  inclusion–exclusion, negation complements.
+* **Joins** assume containment of the smaller key domain: output rows are
+  ``|L| * |R| / max(ndv_L(keys), ndv_R(keys))``, with multi-column keys
+  multiplying per-column NDVs capped at the side's row count.
+* **Aggregations** output the product of the group-key NDVs capped at
+  the input rows (grand aggregates output one row).
+
+Every estimate carries a ``backed`` flag: it is true only when every base
+table involved had collected statistics and every predicate was resolvable
+against them (column vs. literal).  Consumers that *refuse* work based on
+an estimate — the optimizer's GPU-memory check — only do so when the
+estimate is statistics-backed; a guessed default selectivity is never
+grounds to reject a plan (the executor's fault ladder handles genuine
+overflow at run time).
+
+The physical-plan walk (:meth:`CardinalityEstimator.estimate_physical`)
+produces per-operator row estimates keyed by ``node_id``, which the
+session joins with the executor's recorded actual rows into a
+:class:`CardinalityReport` — the estimated-vs-actual/q-error accounting
+the ``stats`` benchmark suite tracks over time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from statistics import median
+
+from ..operators.hashjoin import HASH_ENTRY_BYTES
+from ..relational.expr import (
+    BooleanNot,
+    BooleanOp,
+    ColumnRef,
+    Comparison,
+    Expr,
+    Literal,
+)
+from ..relational.logical import (
+    Aggregate,
+    Filter,
+    Join,
+    LogicalPlan,
+    OrderBy,
+    Project,
+    Scan,
+)
+from ..relational.physical import (
+    PAggregate,
+    PFilterProject,
+    PhysicalOp,
+    PJoin,
+    PScan,
+    PSort,
+)
+from .statistics import Histogram
+
+#: Selectivity assumed for predicates the estimator cannot resolve
+#: against column statistics (column vs. column, computed expressions).
+DEFAULT_SELECTIVITY = 1.0 / 3.0
+#: Damping floor for conjunctions: under independence a stack of
+#: correlated predicates multiplies toward zero; the combined selectivity
+#: never drops below this floor unless one conjunct is exactly zero.
+CONJUNCTION_FLOOR = 1e-4
+
+_FLIP = {"<": ">", "<=": ">=", ">": "<", ">=": "<="}
+
+
+@dataclass(frozen=True)
+class ColumnEstimate:
+    """Propagated summary of one column inside a relation estimate."""
+
+    ndv: float
+    min_value: float | None = None
+    max_value: float | None = None
+    histogram: Histogram | None = None
+    width_bytes: float = 8.0
+
+
+@dataclass(frozen=True)
+class RelationEstimate:
+    """Estimated shape of one operator's output."""
+
+    rows: float
+    columns: dict[str, ColumnEstimate] = field(default_factory=dict)
+    #: True only when every involved base table had collected statistics
+    #: and every predicate resolved against them.
+    backed: bool = True
+
+    @property
+    def row_bytes(self) -> float:
+        if not self.columns:
+            return 8.0
+        return sum(col.width_bytes for col in self.columns.values())
+
+
+@dataclass(frozen=True)
+class OperatorEstimate:
+    """Estimated output rows of one physical operator."""
+
+    node_id: int
+    label: str
+    rows: float
+
+
+@dataclass(frozen=True)
+class WorkingSetEstimate:
+    """Estimated memory working set of one query.
+
+    ``total_bytes`` is what admission control charges against a tenant's
+    memory budget: the widest estimated intermediate plus every join
+    build's hash table (they are resident while probes stream).
+    """
+
+    total_bytes: int
+    peak_intermediate_bytes: int
+    build_bytes: int
+    largest_build_bytes: int
+    backed: bool
+
+
+def q_error(estimated: float, actual: float) -> float:
+    """The symmetric ratio error (>= 1.0; 1.0 is a perfect estimate)."""
+    est = max(float(estimated), 1.0)
+    act = max(float(actual), 1.0)
+    return max(est / act, act / est)
+
+
+@dataclass(frozen=True)
+class OperatorCardinality:
+    """Estimated vs. actual output rows of one executed operator."""
+
+    node_id: int
+    label: str
+    estimated_rows: float
+    actual_rows: int
+
+    @property
+    def q_error(self) -> float:
+        return q_error(self.estimated_rows, self.actual_rows)
+
+    def describe(self) -> str:
+        return (f"{self.label}: est={self.estimated_rows:.0f} "
+                f"actual={self.actual_rows} q={self.q_error:.2f}")
+
+
+@dataclass(frozen=True)
+class CardinalityReport:
+    """Per-operator estimated/actual accounting for one executed query."""
+
+    operators: tuple[OperatorCardinality, ...] = ()
+
+    @property
+    def median_q_error(self) -> float:
+        if not self.operators:
+            return 1.0
+        return float(median(op.q_error for op in self.operators))
+
+    @property
+    def max_q_error(self) -> float:
+        if not self.operators:
+            return 1.0
+        return max(op.q_error for op in self.operators)
+
+    def describe(self) -> str:
+        lines = [f"cardinality: median q-error {self.median_q_error:.2f}, "
+                 f"max {self.max_q_error:.2f}"]
+        lines.extend("  " + op.describe() for op in self.operators)
+        return "\n".join(lines)
+
+
+def build_report(estimates: dict[int, OperatorEstimate],
+                 actual_rows: dict[int, int]) -> CardinalityReport:
+    """Join per-operator estimates with recorded actual rows."""
+    operators = tuple(
+        OperatorCardinality(node_id=node_id, label=estimate.label,
+                            estimated_rows=estimate.rows,
+                            actual_rows=actual_rows[node_id])
+        for node_id, estimate in sorted(estimates.items())
+        if node_id in actual_rows)
+    return CardinalityReport(operators=operators)
+
+
+class CardinalityEstimator:
+    """Statistics-driven row estimates for logical and physical plans."""
+
+    def __init__(self, catalog) -> None:
+        self.catalog = catalog
+
+    # ------------------------------------------------------------------
+    # Base tables
+    # ------------------------------------------------------------------
+    def table_estimate(self, name: str,
+                       columns=None) -> RelationEstimate:
+        if name not in self.catalog:
+            return RelationEstimate(rows=1.0, columns={}, backed=False)
+        stats = self.catalog.statistics(name)
+        names = tuple(columns) if columns else tuple(stats.columns)
+        estimates: dict[str, ColumnEstimate] = {}
+        for column in names:
+            cs = stats.column(column)
+            if cs is None:
+                estimates[column] = ColumnEstimate(
+                    ndv=float(max(stats.num_rows, 1)))
+                continue
+            width = cs.nbytes / max(stats.num_rows, 1)
+            estimates[column] = ColumnEstimate(
+                ndv=float(cs.ndv), min_value=cs.min_value,
+                max_value=cs.max_value, histogram=cs.histogram,
+                width_bytes=width)
+        return RelationEstimate(rows=float(stats.num_rows),
+                                columns=estimates, backed=True)
+
+    # ------------------------------------------------------------------
+    # Predicate selectivities
+    # ------------------------------------------------------------------
+    def selectivity(self, predicate: Expr,
+                    rel: RelationEstimate) -> tuple[float, bool]:
+        """Estimated selectivity of ``predicate`` over ``rel``.
+
+        Returns ``(selectivity, backed)`` — ``backed`` is false whenever
+        any leaf fell back to :data:`DEFAULT_SELECTIVITY`.
+        """
+        if isinstance(predicate, Comparison):
+            return self._comparison_selectivity(predicate, rel)
+        if isinstance(predicate, BooleanOp):
+            left, left_backed = self.selectivity(predicate.left, rel)
+            right, right_backed = self.selectivity(predicate.right, rel)
+            backed = left_backed and right_backed
+            if predicate.op == "and":
+                combined = left * right
+                if combined > 0.0:
+                    combined = max(combined, CONJUNCTION_FLOOR)
+                return combined, backed
+            return left + right - left * right, backed
+        if isinstance(predicate, BooleanNot):
+            inner, backed = self.selectivity(predicate.operand, rel)
+            return 1.0 - inner, backed
+        return DEFAULT_SELECTIVITY, False
+
+    def _comparison_selectivity(self, comp: Comparison,
+                                rel: RelationEstimate) -> tuple[float, bool]:
+        left, right, op = comp.left, comp.right, comp.op
+        if isinstance(left, Literal) and isinstance(right, ColumnRef):
+            left, right = right, left
+            op = _FLIP.get(op, op)
+        if not (isinstance(left, ColumnRef) and isinstance(right, Literal)):
+            return DEFAULT_SELECTIVITY, False
+        col = rel.columns.get(left.name)
+        if col is None:
+            return DEFAULT_SELECTIVITY, False
+        try:
+            value = float(right.value)
+        except (TypeError, ValueError):
+            return DEFAULT_SELECTIVITY, False
+        if col.ndv <= 0:  # an empty (or all-NaN) column matches nothing
+            return 0.0, True
+        eq = 1.0 / max(col.ndv, 1.0)
+        in_range = (col.min_value is None
+                    or col.min_value <= value <= col.max_value)
+        if op == "==":
+            return (eq if in_range else 0.0), True
+        if op == "!=":
+            return (1.0 - eq if in_range else 1.0), True
+        below = self._fraction_below(col, value)
+        if below is None:
+            return DEFAULT_SELECTIVITY, False
+        point = eq if in_range else 0.0
+        if op == "<=":
+            sel = below
+        elif op == "<":
+            sel = below - point
+        elif op == ">":
+            sel = 1.0 - below
+        else:  # ">="
+            sel = 1.0 - below + point
+        return min(max(sel, 0.0), 1.0), True
+
+    @staticmethod
+    def _fraction_below(col: ColumnEstimate, value: float) -> float | None:
+        """Estimated fraction of values ``<= value`` for one column."""
+        if col.histogram is not None:
+            return col.histogram.mass_between(None, value)
+        if col.min_value is None or col.max_value is None:
+            return None
+        if value < col.min_value:
+            return 0.0
+        if value >= col.max_value:
+            return 1.0
+        span = col.max_value - col.min_value
+        if span <= 0.0:
+            return 1.0
+        return (value - col.min_value) / span
+
+    # ------------------------------------------------------------------
+    # Relational operators
+    # ------------------------------------------------------------------
+    def _filtered(self, child: RelationEstimate,
+                  predicate: Expr) -> RelationEstimate:
+        sel, backed = self.selectivity(predicate, child)
+        rows = child.rows * sel
+        return RelationEstimate(rows=rows,
+                                columns=_cap_columns(child.columns, rows),
+                                backed=child.backed and backed)
+
+    def _projected(self, child: RelationEstimate,
+                   projections) -> RelationEstimate:
+        columns: dict[str, ColumnEstimate] = {}
+        for alias, expr in projections.items():
+            if isinstance(expr, ColumnRef) and expr.name in child.columns:
+                columns[alias] = child.columns[expr.name]
+                continue
+            # A computed expression is a function of its inputs, so its
+            # NDV cannot exceed the product of the referenced columns'
+            # NDVs (a pure literal has exactly one value).
+            ndv = 1.0
+            for name in expr.columns():
+                col = child.columns.get(name)
+                ndv *= max(col.ndv, 1.0) if col is not None \
+                    else max(child.rows, 1.0)
+            columns[alias] = ColumnEstimate(
+                ndv=min(ndv, max(child.rows, 1.0)))
+        return RelationEstimate(rows=child.rows, columns=columns,
+                                backed=child.backed)
+
+    def _joined(self, left: RelationEstimate, right: RelationEstimate,
+                left_keys, right_keys) -> RelationEstimate:
+        raw_left = _key_ndv_raw(left, left_keys)
+        raw_right = _key_ndv_raw(right, right_keys)
+        left_rows = max(left.rows, 1.0)
+        right_rows = max(right.rows, 1.0)
+        cap_left = min(raw_left, left_rows)
+        cap_right = min(raw_right, right_rows)
+        # Cross-side refinement of the key-combination NDVs: when a side's
+        # independence product overflows its row count, the per-column
+        # NDVs say nothing about the joint distribution — under the
+        # containment assumption the side's distinct combinations mirror
+        # the other side's key domain, so cap by it.  This recovers FK
+        # chains over composite keys (every lineitem row matches exactly
+        # one partsupp row) without breaking selective builds, whose
+        # un-overflowed probe-side NDV keeps the containment denominator.
+        left_ndv = (min(cap_left, max(cap_right, 1.0))
+                    if raw_left > left_rows else cap_left)
+        right_ndv = (min(cap_right, max(cap_left, 1.0))
+                     if raw_right > right_rows else cap_right)
+        rows = left.rows * right.rows / max(left_ndv, right_ndv, 1.0)
+        columns = dict(left.columns)
+        columns.update(right.columns)
+        return RelationEstimate(rows=rows,
+                                columns=_cap_columns(columns, rows),
+                                backed=left.backed and right.backed)
+
+    def _aggregated(self, child: RelationEstimate, group_by,
+                    aggregates) -> RelationEstimate:
+        if not group_by:
+            rows = 1.0
+        else:
+            groups = 1.0
+            for key in group_by:
+                col = child.columns.get(key)
+                groups *= max(col.ndv, 1.0) if col is not None \
+                    else max(child.rows, 1.0)
+            rows = min(groups, max(child.rows, 1.0))
+            if child.rows <= 0:
+                rows = 0.0
+        columns = {key: replace(child.columns[key],
+                                ndv=min(child.columns[key].ndv,
+                                        max(rows, 1.0)))
+                   for key in group_by if key in child.columns}
+        for spec in aggregates:
+            columns[spec.alias] = ColumnEstimate(ndv=max(rows, 1.0))
+        return RelationEstimate(rows=rows, columns=columns,
+                                backed=child.backed)
+
+    # ------------------------------------------------------------------
+    # Logical plans
+    # ------------------------------------------------------------------
+    def estimate(self, plan: LogicalPlan) -> RelationEstimate:
+        """Estimated output shape of a logical plan."""
+        if isinstance(plan, Scan):
+            return self.table_estimate(plan.table, plan.columns)
+        if isinstance(plan, Filter):
+            return self._filtered(self.estimate(plan.child), plan.predicate)
+        if isinstance(plan, Project):
+            return self._projected(self.estimate(plan.child),
+                                   plan.projections)
+        if isinstance(plan, Join):
+            return self._joined(self.estimate(plan.left),
+                                self.estimate(plan.right),
+                                plan.left_keys, plan.right_keys)
+        if isinstance(plan, Aggregate):
+            return self._aggregated(self.estimate(plan.child),
+                                    plan.group_by, plan.aggregates)
+        if isinstance(plan, OrderBy):
+            return self.estimate(plan.child)
+        return RelationEstimate(rows=1.0, columns={}, backed=False)
+
+    def estimate_rows(self, plan: LogicalPlan) -> int:
+        """Estimated output rows of a logical plan (an integer, >= 0)."""
+        return int(round(max(self.estimate(plan).rows, 0.0)))
+
+    # ------------------------------------------------------------------
+    # Physical plans
+    # ------------------------------------------------------------------
+    def estimate_physical(self, plan: PhysicalOp
+                          ) -> dict[int, OperatorEstimate]:
+        """Per-operator row estimates for a physical plan.
+
+        Keys are ``node_id``s; exchange operators (routers, mem-moves,
+        device crossings) forward their child's batch untouched and are
+        deliberately absent from the accounting.
+        """
+        out: dict[int, OperatorEstimate] = {}
+        self._walk_physical(plan, out)
+        return out
+
+    def _walk_physical(self, node: PhysicalOp,
+                       out: dict[int, OperatorEstimate]) -> RelationEstimate:
+        if isinstance(node, PScan):
+            rel = self.table_estimate(node.table, node.columns)
+            label = f"scan({node.table})"
+        elif isinstance(node, PFilterProject):
+            rel = self._walk_physical(node.child, out)
+            if node.predicate is not None:
+                rel = self._filtered(rel, node.predicate)
+            if node.projections:
+                rel = self._projected(rel, node.projections)
+            label = "filter-project"
+        elif isinstance(node, PJoin):
+            build = self._walk_physical(node.build, out)
+            probe = self._walk_physical(node.probe, out)
+            rel = self._joined(build, probe, node.build_keys,
+                               node.probe_keys)
+            label = f"join[{node.algorithm.value}]"
+        elif isinstance(node, PAggregate):
+            child = self._walk_physical(node.child, out)
+            rel = self._aggregated(child, node.group_by, node.aggregates)
+            label = f"aggregate-{node.phase}"
+        elif isinstance(node, PSort):
+            rel = self._walk_physical(node.child, out)
+            out[node.node_id] = OperatorEstimate(node.node_id, "sort",
+                                                 rel.rows)
+            return rel
+        else:  # exchanges: forward the child estimate, record nothing
+            return self._walk_physical(node.child, out)
+        out[node.node_id] = OperatorEstimate(node.node_id, label, rel.rows)
+        return rel
+
+    # ------------------------------------------------------------------
+    # Working sets (admission control, mode choice)
+    # ------------------------------------------------------------------
+    def working_set(self, plan: LogicalPlan) -> WorkingSetEstimate:
+        """Estimated memory working set of executing ``plan``.
+
+        Scans stream morsel-at-a-time and pin nothing; what occupies
+        memory is the widest estimated intermediate batch plus the hash
+        tables of every join build side (resident while probes stream).
+        """
+        state = _WorkingSetState()
+        rel = self._walk_working_set(plan, state)
+        total = int(round(state.peak + state.builds))
+        return WorkingSetEstimate(
+            total_bytes=max(total, 0),
+            peak_intermediate_bytes=int(round(state.peak)),
+            build_bytes=int(round(state.builds)),
+            largest_build_bytes=int(round(state.largest_build)),
+            backed=rel.backed and state.backed)
+
+    def _walk_working_set(self, plan: LogicalPlan,
+                          state: "_WorkingSetState") -> RelationEstimate:
+        if isinstance(plan, Scan):
+            return self.table_estimate(plan.table, plan.columns)
+        if isinstance(plan, Filter):
+            child = self._walk_working_set(plan.child, state)
+            rel = self._filtered(child, plan.predicate)
+            state.see(rel)
+            return rel
+        if isinstance(plan, Project):
+            child = self._walk_working_set(plan.child, state)
+            rel = self._projected(child, plan.projections)
+            state.see(rel)
+            return rel
+        if isinstance(plan, Join):
+            left = self._walk_working_set(plan.left, state)
+            right = self._walk_working_set(plan.right, state)
+            build_rows = min(max(left.rows, 0.0), max(right.rows, 0.0))
+            state.build(build_rows * HASH_ENTRY_BYTES)
+            rel = self._joined(left, right, plan.left_keys, plan.right_keys)
+            state.see(rel)
+            return rel
+        if isinstance(plan, Aggregate):
+            child = self._walk_working_set(plan.child, state)
+            rel = self._aggregated(child, plan.group_by, plan.aggregates)
+            state.see(rel)
+            return rel
+        if isinstance(plan, OrderBy):
+            rel = self._walk_working_set(plan.child, state)
+            state.see(rel)  # the sorted copy
+            return rel
+        state.backed = False
+        return RelationEstimate(rows=1.0, columns={}, backed=False)
+
+
+class _WorkingSetState:
+    """Accumulator for :meth:`CardinalityEstimator.working_set`."""
+
+    __slots__ = ("peak", "builds", "largest_build", "backed")
+
+    def __init__(self) -> None:
+        self.peak = 0.0
+        self.builds = 0.0
+        self.largest_build = 0.0
+        self.backed = True
+
+    def see(self, rel: RelationEstimate) -> None:
+        self.peak = max(self.peak, max(rel.rows, 0.0) * rel.row_bytes)
+
+    def build(self, nbytes: float) -> None:
+        self.builds += nbytes
+        self.largest_build = max(self.largest_build, nbytes)
+
+
+def _cap_columns(columns: dict[str, ColumnEstimate],
+                 rows: float) -> dict[str, ColumnEstimate]:
+    """NDV can never exceed the relation's (estimated) row count."""
+    bound = max(rows, 0.0)
+    return {name: (col if col.ndv <= bound
+                   else replace(col, ndv=max(bound, 1.0) if bound > 0
+                                else 0.0))
+            for name, col in columns.items()}
+
+
+def _key_ndv_raw(rel: RelationEstimate, keys) -> float:
+    """Independence product of the join key columns' NDVs (uncapped)."""
+    ndv = 1.0
+    for key in keys:
+        col = rel.columns.get(key)
+        ndv *= max(col.ndv, 1.0) if col is not None else max(rel.rows, 1.0)
+    return ndv

@@ -19,9 +19,8 @@ import threading
 from dataclasses import dataclass
 from typing import Callable
 
-import numpy as np
-
 from ..errors import CatalogError
+from ..stats.statistics import TableStatistics, collect_table_statistics
 from .table import Table
 
 
@@ -54,6 +53,7 @@ class Catalog:
         self._lock = threading.RLock()
         self._tables: dict[str, Table] = {}
         self._stats: dict[str, TableStats] = {}
+        self._statistics: dict[str, TableStatistics] = {}
         self._versions: dict[str, int] = {}
         self._next_version = 1
         self._listeners: list[Callable[[str], None]] = []
@@ -79,7 +79,11 @@ class Catalog:
         registration notifies nobody — no cached entry can reference a
         table that was never scannable.
         """
-        stats = _compute_stats(table)
+        # Statistics collection (the expensive part: sampling, unique
+        # counts, histograms) happens outside the lock; only the swap-in
+        # is atomic with the version bump and invalidation delivery.
+        statistics = collect_table_statistics(table)
+        stats = _basic_stats(table, statistics)
         with self._lock:
             replacing = table.name in self._tables
             if replacing and not replace:
@@ -87,6 +91,7 @@ class Catalog:
                     f"table {table.name!r} is already registered")
             self._tables[table.name] = table
             self._stats[table.name] = stats
+            self._statistics[table.name] = statistics
             self._versions[table.name] = self._next_version
             self._next_version += 1
             if replacing:
@@ -103,6 +108,17 @@ class Catalog:
     def stats(self, name: str) -> TableStats:
         self.table(name)
         return self._stats[name]
+
+    def statistics(self, name: str) -> TableStatistics:
+        """Full per-column statistics (NDV, min/max, histograms).
+
+        Collected at :meth:`register` time and retired with the table:
+        a ``register(replace=True)`` swaps in statistics of the new data
+        atomically with the version bump, and :meth:`drop` removes them —
+        an estimate can never be derived from statistics of stale data.
+        """
+        self.table(name)
+        return self._statistics[name]
 
     def version(self, name: str) -> int:
         """Catalog version of a registered table.
@@ -147,6 +163,7 @@ class Catalog:
                 raise CatalogError(f"unknown table {name!r}")
             del self._tables[name]
             del self._stats[name]
+            del self._statistics[name]
             del self._versions[name]
             self._notify(name)
 
@@ -159,23 +176,16 @@ class Catalog:
             listener(name)
 
 
-def _compute_stats(table: Table) -> TableStats:
-    distinct: dict[str, int] = {}
-    for column in table.columns:
-        # Sampling keeps catalog registration cheap for big tables while
-        # remaining accurate enough for join-side selection.
-        values = column.values
-        if len(values) > 200_000:
-            rng = np.random.default_rng(0)
-            values = rng.choice(values, size=100_000, replace=False)
-            scale = table.num_rows / 100_000
-            distinct[column.name] = min(
-                table.num_rows, int(len(np.unique(values)) * scale)
-            )
-        else:
-            distinct[column.name] = int(len(np.unique(values)))
+def _basic_stats(table: Table, statistics: TableStatistics) -> TableStats:
+    """Derive the legacy basic stats from the full per-column statistics.
+
+    The full collection uses the identical sampling discipline (seeded
+    100k-row sample above 200k rows), so the distinct counts here are the
+    same numbers the old standalone computation produced.
+    """
     return TableStats(
         num_rows=table.num_rows,
         nbytes=table.nbytes,
-        distinct_counts=distinct,
+        distinct_counts={name: stats.ndv
+                         for name, stats in statistics.columns.items()},
     )

@@ -402,13 +402,17 @@ class TestRetries:
 class TestModeFailover:
     def test_q9_style_gpu_overflow_degrades_to_cpu(self, tpch_dataset):
         # The paper's Section 6.4 failure: the join build side exceeds GPU
-        # memory.  The optimizer's estimate (discounted by filters) lets
-        # the plan through, the executor's capacity check raises
-        # OutOfDeviceMemoryError mid-dispatch, and the server fails the
-        # query over hybrid -> cpu where it completes.
-        plan = (scan("orders")
-                .filter(col("o_orderkey") >= lit(0))
-                .filter(col("o_custkey") >= lit(0))
+        # memory.  The filters below are perfectly correlated (the same
+        # predicate repeated), so the estimator's independence assumption
+        # multiplies their selectivities and underestimates the build side
+        # 4x: the optimizer lets a GPU-resident join through, the
+        # executor's capacity check raises OutOfDeviceMemoryError
+        # mid-dispatch, and the server fails the query over hybrid -> cpu
+        # where it completes.
+        filtered = scan("orders")
+        for _ in range(4):
+            filtered = filtered.filter(col("o_orderkey") >= lit(3000))
+        plan = (filtered
                 .join(scan("lineitem", ["l_orderkey", "l_extendedprice"]),
                       ["o_orderkey"], ["l_orderkey"])
                 .aggregate([], [agg_sum(col("l_extendedprice"), "s")]))

@@ -18,7 +18,10 @@ needed and float sums over join outputs compare bit-exact) against
 A slice of the seeds additionally runs with an aggressive optimizer
 configuration (``small_build_rows=2``) so the radix and co-processed join
 paths — normally reserved for large builds — are exercised on tiny and
-empty inputs too.
+empty inputs too.  Every case also replays on a statistics-off engine
+(``use_statistics=False``): heuristic estimates may choose different
+plans — simulated seconds are exempt on that axis — but results must
+stay cell-exact.
 
 Every failure message prints the reproducing seed and the offending plan;
 re-running a single case is ``pytest "tests/test_fuzz_plans.py::test_fuzzed_plan_matches_reference[<seed>]"``.
@@ -243,6 +246,25 @@ def engine_grid():
     return grid
 
 
+@pytest.fixture(scope="module")
+def stats_off_engines():
+    """The statistics ablation axis: legacy heuristic row estimates.
+
+    With ``use_statistics=False`` the optimizer may pick *different*
+    plans (join build sides, algorithms) than the statistics-backed
+    default, so simulated seconds are allowed to differ — but the chosen
+    plan must still compute the identical result bytes.
+    """
+    return {
+        aggressive: HAPEEngine(
+            default_server(),
+            optimizer_options=OptimizerOptions(
+                use_statistics=False,
+                **({"small_build_rows": 2} if aggressive else {})))
+        for aggressive in (False, True)
+    }
+
+
 def _assert_cell_exact(result, reference, context: str) -> None:
     """Cell-exact AND order-sensitive: no canonical row sort.
 
@@ -373,15 +395,17 @@ class TestZeroRowEdges:
 
 
 @pytest.mark.parametrize("seed", range(FUZZ_PLAN_CASES))
-def test_fuzzed_plan_matches_reference(engine_grid, seed):
+def test_fuzzed_plan_matches_reference(engine_grid, stats_off_engines, seed):
     case = _Case(seed)
     aggressive = seed % AGGRESSIVE_EVERY == 0
     engines = {key: engine for key, engine in engine_grid.items()
                if key[0] == aggressive}
+    stats_off = stats_off_engines[aggressive]
     first = next(iter(engines.values()))
     for table in case.tables:
         for engine in engines.values():
             engine.register_table(table)
+        stats_off.register_table(table)
     reference = execute_logical(case.plan, first.catalog)
     context_base = (f"seed={seed} (aggressive={aggressive})\n"
                     f"plan:\n{case.plan.pretty()}")
@@ -399,10 +423,17 @@ def test_fuzzed_plan_matches_reference(engine_grid, seed):
                 assert result.simulated_seconds == simulated, (
                     f"{context}: simulated seconds diverged across the "
                     f"configuration grid")
+        # The statistics ablation axis: heuristic estimates may choose a
+        # different plan (sims can differ) but never a different answer.
+        for mode in MODES:
+            result = stats_off.execute(case.plan, mode)
+            _assert_cell_exact(result.table, reference,
+                               f"{context_base}\nmode={mode} statistics=off")
     finally:
         for table in case.tables:
             for engine in engines.values():
                 engine.catalog.drop(table.name)
+            stats_off.catalog.drop(table.name)
 
 
 # ----------------------------------------------------------------------

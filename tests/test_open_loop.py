@@ -251,14 +251,12 @@ class TestDrainStyleEquivalence:
         jobs = [("alpha", "Q1", "cpu"), ("beta", "Q5", "gpu"),
                 ("alpha", "Q6", "hybrid"), ("gamma", "Q9", "cpu"),
                 ("beta", "Q1", "hybrid"), ("gamma", "Q6", "gpu")]
-        # With workers >= 2 tenants execute concurrently against the
-        # shared cache, so hit/miss attribution between tenants whose
-        # kernel footprints overlap is timing-dependent — the scale
-        # gates draw the same boundary (suite_scale runs cache-off).
-        # Simulated seconds and tables are cache-blind and stay exact
-        # either way; the full cache-counter comparison runs at
-        # workers=1.
-        knobs = {} if workers == 1 else {"cache_budget_bytes": 0}
+        # Shared cache ON at every worker count: trace-at-lookup /
+        # commit-in-pick-order attribution makes hit/miss counters a
+        # pure function of the admission schedule, so the fingerprint —
+        # cache counters included — matches exactly even when tenants
+        # with overlapping kernel footprints execute concurrently.
+        knobs = {}
 
         def build(server):
             server.register_dataset(tpch_dataset.tables)

@@ -374,3 +374,144 @@ class TestDeviceScheduler:
                 ticket.queue_wait + ticket.result.simulated_seconds)
         assert report.percentile_latency(50) <= report.percentile_latency(99)
         assert "t:" in report.describe() or "t" in report.tenants
+
+
+# ----------------------------------------------------------------------
+# Statistics-backed admission (working-set estimates)
+# ----------------------------------------------------------------------
+class TestStatisticsAdmission:
+    def test_selective_query_admitted_under_tight_budget(self, tpch_dataset):
+        # The headline admission fix: a highly selective probe over the
+        # biggest table charges only the working set it materializes, so
+        # a budget far below the table's bytes admits it.  The legacy
+        # full-referenced-table estimate would reject at submit.
+        server = QueryServer(default_server())
+        server.register_dataset(tpch_dataset.tables)
+        lineitem_bytes = tpch_dataset.tables["lineitem"].nbytes
+        budget = lineitem_bytes // 8
+        server.open_session("t", memory_budget_bytes=budget)
+        plan = (scan("lineitem")
+                .filter(col("l_orderkey") == lit(1))
+                .aggregate([], [agg_sum(col("l_extendedprice"), "s")]))
+        ticket = server.submit("t", plan, "cpu")
+        assert ticket.estimated_bytes < budget < lineitem_bytes
+        report = server.run()
+        assert ticket.status == "completed"
+        assert report.completed == 1
+
+    def test_unbacked_estimate_falls_back_to_table_bytes(self, tpch_dataset):
+        # A predicate the estimator cannot resolve (computed left-hand
+        # side) keeps the conservative legacy estimate: every referenced
+        # table's full bytes.
+        server = QueryServer(default_server())
+        server.register_dataset(tpch_dataset.tables)
+        plan = (scan("lineitem")
+                .filter((col("l_quantity") + lit(0.0)) > lit(0.0))
+                .aggregate([], [agg_count("c")]))
+        ticket = server.submit("t", plan, "cpu")
+        assert ticket.estimated_bytes == \
+            tpch_dataset.tables["lineitem"].nbytes
+        server.run()
+        assert ticket.status == "completed"
+
+
+# ----------------------------------------------------------------------
+# Deterministic shared-cache attribution (trace/commit)
+# ----------------------------------------------------------------------
+class TestSharedCacheAttribution:
+    JOBS = (("alpha", "Q1"), ("beta", "Q1"), ("gamma", "Q1"),
+            ("alpha", "Q5"), ("beta", "Q5"), ("gamma", "Q9"))
+
+    def _run(self, tpch_dataset, workers):
+        queries = all_queries(tpch_dataset)
+        server = QueryServer(default_server(), workers=workers)
+        server.register_dataset(tpch_dataset.tables)
+        for tenant in ("alpha", "beta", "gamma"):
+            server.open_session(tenant)
+        tickets = [
+            server.submit(tenant, queries[query].plan, "cpu",
+                          label=f"{tenant}:{query}:{index}")
+            for index, (tenant, query) in enumerate(self.JOBS)]
+        report = server.run()
+        return server, report, tickets
+
+    @pytest.mark.parametrize("workers", [1, 2, "auto"])
+    def test_counters_reconcile_exactly(self, tpch_dataset, workers):
+        server, report, tickets = self._run(tpch_dataset, workers)
+        totals = server.query_cache.counters()
+        per_tenant = server.query_cache.tenant_counters()
+        # Global == sum over tenants, exactly, at every worker count.
+        assert totals.hits == sum(c.hits for c in per_tenant.values())
+        assert totals.misses == sum(c.misses for c in per_tenant.values())
+        # Tenant == sum over its tickets' per-query deltas.
+        for tenant in ("alpha", "beta", "gamma"):
+            mine = [t for t in tickets if t.tenant == tenant]
+            assert per_tenant[tenant].hits == sum(t.cache.hits for t in mine)
+            assert per_tenant[tenant].misses == \
+                sum(t.cache.misses for t in mine)
+        # Overlapping workloads actually shared: the first Q1 paid the
+        # misses, the later structurally identical submissions rode warm.
+        assert totals.hits > 0 and totals.misses > 0
+
+    def test_attribution_identical_across_worker_counts(self, tpch_dataset):
+        def fingerprint(workers):
+            server, report, tickets = self._run(tpch_dataset, workers)
+            return (
+                [(t.label, t.status, t.cache.hits, t.cache.misses)
+                 for t in report.tickets],
+                {name: (c.hits, c.misses)
+                 for name, c in server.query_cache.tenant_counters().items()},
+                (server.query_cache.counters().hits,
+                 server.query_cache.counters().misses),
+            )
+
+        baseline = fingerprint(1)
+        assert fingerprint(2) == baseline
+        assert fingerprint("auto") == baseline
+
+
+# ----------------------------------------------------------------------
+# Auto-mode placement (occupancy-aware)
+# ----------------------------------------------------------------------
+class TestAutoModePlacement:
+    def test_least_loaded_kind_prefers_idle_silicon(self):
+        topology = default_server()
+        scheduler = DeviceScheduler(topology)
+        from repro.hardware.specs import DeviceKind
+        # Fresh board: tie goes to the CPUs.
+        assert scheduler.least_loaded_kind() is DeviceKind.CPU
+        topology.occupancy.reserve({"cpu0": 1.0, "cpu1": 1.0},
+                                   label="standing")
+        assert scheduler.least_loaded_kind() is DeviceKind.GPU
+        topology.occupancy.reserve({"gpu0": 2.0, "gpu1": 2.0},
+                                   label="standing")
+        assert scheduler.least_loaded_kind() is DeviceKind.CPU
+
+    def test_auto_mode_follows_the_occupancy_board(self, tpch_dataset):
+        queries = all_queries(tpch_dataset)
+        server = QueryServer(default_server())
+        server.register_dataset(tpch_dataset.tables)
+        server.open_session("t")  # max_concurrency=1: sequential picks
+        first = server.submit("t", queries["Q6"].plan, "auto")
+        second = server.submit("t", queries["Q6"].plan, "auto")
+        report = server.run()
+        assert report.completed == 2
+        # Fresh board -> CPU; after the first reserved the CPUs, the
+        # GPUs are the less-loaded kind for the second pick.
+        assert first.final_mode == "cpu"
+        assert second.final_mode == "gpu"
+
+    def test_auto_mode_coprocesses_oversized_working_sets(self, tpch_dataset):
+        from repro.hardware.specs import gtx_1080
+        tiny_gpu = gtx_1080().with_memory_capacity(64 * 1024)
+        server = QueryServer(default_server(gpu_spec=tiny_gpu))
+        server.register_dataset(tpch_dataset.tables)
+        plan = (scan("orders")
+                .join(scan("lineitem", ["l_orderkey", "l_extendedprice"]),
+                      ["o_orderkey"], ["l_orderkey"])
+                .aggregate([], [agg_sum(col("l_extendedprice"), "s")]))
+        ticket = server.submit("t", plan, "auto")
+        server.run()
+        assert ticket.status == "completed"
+        assert ticket.final_mode in ("hybrid", "cpu")
+        assert ticket.mode == "auto"  # the requested mode is preserved

@@ -1,0 +1,446 @@
+"""Tests for the statistics subsystem (collection + cardinality estimation).
+
+Covers the contracts of ``docs/STATISTICS.md``:
+
+* histogram edge cases — constant columns (a single zero-width point-mass
+  bin), empty/all-NaN columns (no histogram at all), NaN exclusion and
+  infinity accounting keep every mass estimate in ``[0, 1]``;
+* estimator rules — equality is ``1 / NDV`` (zero outside the column
+  range), range selectivities are monotone in the literal, conjunctions
+  damp at :data:`CONJUNCTION_FLOOR`, FK joins estimate the probe side's
+  cardinality under containment;
+* estimation quality — median q-error at most 4 on every evaluated TPC-H
+  query at SF 0.05;
+* lifecycle — statistics are collected at ``register()`` time, swapped
+  atomically on ``register(replace=True)`` and retired by ``drop``;
+* the refusal contract — GPU-only plans are refused at plan time only on
+  statistics-backed estimates; guessed estimates defer to the executor's
+  runtime memory enforcement (and the legacy ``use_statistics=False``
+  heuristic keeps refusing at plan time, as before);
+* session-level ``"auto"`` mode resolution from the working-set estimate.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.engine import HAPEEngine
+from repro.engine.modes import ExecutionMode
+from repro.engine.optimizer import OptimizerOptions
+from repro.errors import CatalogError, OptimizerError, OutOfDeviceMemoryError
+from repro.hardware import default_server, gtx_1080
+from repro.relational import agg_count, agg_sum, col, lit, scan
+from repro.stats import (
+    CONJUNCTION_FLOOR,
+    CardinalityEstimator,
+    Histogram,
+    collect_table_statistics,
+    q_error,
+)
+from repro.storage import Catalog, Table, generate_tpch
+from repro.workloads.tpch_queries import all_queries
+
+
+# ----------------------------------------------------------------------
+# Histograms
+# ----------------------------------------------------------------------
+class TestHistogram:
+    def test_cdf_linear_interpolation(self):
+        h = Histogram(edges=(0.0, 10.0, 20.0), counts=(5, 5), total=10)
+        assert h.cdf(-1.0) == 0.0
+        assert h.cdf(0.0) == 0.0
+        assert h.cdf(5.0) == pytest.approx(0.25)
+        assert h.cdf(10.0) == pytest.approx(0.5)
+        assert h.cdf(20.0) == 1.0
+        assert h.cdf(25.0) == 1.0
+
+    def test_mass_between_clamps_to_unit_interval(self):
+        h = Histogram(edges=(0.0, 10.0, 20.0), counts=(5, 5), total=10)
+        assert h.mass_between(5.0, 15.0) == pytest.approx(0.5)
+        assert h.mass_between(None, None) == pytest.approx(1.0)
+        assert h.mass_between(15.0, 5.0) == 0.0  # inverted bounds clamp
+        assert h.mass_between(-10.0, 30.0) == pytest.approx(1.0)
+
+    def test_point_mass_constant_column(self):
+        h = Histogram(edges=(7.0, 7.0), counts=(4,), total=4)
+        assert h.cdf(6.999) == 0.0
+        assert h.cdf(7.0) == 1.0
+        assert h.mass_between(7.0, 7.0) == 1.0
+        assert h.mass_between(8.0, 9.0) == 0.0
+        assert h.mass_between(None, 6.0) == 0.0
+
+    def test_empty_histogram_answers_zero(self):
+        h = Histogram(edges=(0.0, 0.0), counts=(0,), total=0)
+        assert h.cdf(0.0) == 0.0
+        assert h.mass_between(None, None) == 0.0
+
+
+# ----------------------------------------------------------------------
+# Collection edge cases
+# ----------------------------------------------------------------------
+class TestCollection:
+    def test_constant_column_degenerates_to_zero_width_bin(self):
+        table = Table.from_arrays("t", {
+            "c": np.full(50, 3.5, dtype=np.float64)})
+        stats = collect_table_statistics(table).column("c")
+        assert stats.min_value == stats.max_value == 3.5
+        assert stats.histogram is not None
+        assert stats.histogram.edges == (3.5, 3.5)
+        assert stats.histogram.counts == (50,)
+        assert stats.ndv == 1
+
+    def test_empty_table_has_counts_but_no_histogram(self):
+        table = Table.from_arrays("e", {
+            "x": np.array([], dtype=np.float64)})
+        stats = collect_table_statistics(table).column("x")
+        assert stats.num_rows == 0
+        assert stats.ndv == 0
+        assert stats.min_value is None
+        assert stats.histogram is None
+
+    def test_all_nan_column_has_no_range(self):
+        table = Table.from_arrays("n", {
+            "x": np.full(8, np.nan, dtype=np.float64)})
+        stats = collect_table_statistics(table).column("x")
+        assert stats.min_value is None
+        assert stats.histogram is None
+
+    def test_nans_excluded_from_range_and_mass(self):
+        table = Table.from_arrays("m", {
+            "x": np.array([1.0, 2.0, np.nan, np.nan])})
+        stats = collect_table_statistics(table).column("x")
+        assert (stats.min_value, stats.max_value) == (1.0, 2.0)
+        assert stats.histogram.total == 2
+        assert sum(stats.histogram.counts) == 2
+        assert stats.histogram.mass_between(None, None) == pytest.approx(1.0)
+
+    def test_infinities_count_toward_total_but_not_bins(self):
+        table = Table.from_arrays("i", {
+            "x": np.array([1.0, 2.0, np.inf])})
+        stats = collect_table_statistics(table).column("x")
+        assert (stats.min_value, stats.max_value) == (1.0, 2.0)
+        assert stats.histogram.total == 3
+        assert sum(stats.histogram.counts) == 2
+        # The infinite value is "somewhere above every bin": range mass
+        # over the finite span stays a fraction of all non-NaN values.
+        assert stats.histogram.mass_between(None, None) == pytest.approx(2 / 3)
+
+    def test_ndv_exact_below_sampling_threshold(self):
+        table = Table.from_arrays("k", {
+            "key": np.arange(1000, dtype=np.int64),
+            "grp": np.repeat(np.arange(10, dtype=np.int64), 100)})
+        stats = collect_table_statistics(table)
+        assert stats.column("key").ndv == 1000
+        assert stats.column("grp").ndv == 10
+
+    def test_collection_is_deterministic(self):
+        rng = np.random.default_rng(11)
+        values = rng.integers(0, 500_000, 300_000, dtype=np.int64)
+        table = Table.from_arrays("big", {"v": values})
+        first = collect_table_statistics(table)
+        second = collect_table_statistics(table)
+        assert first.column("v").ndv == second.column("v").ndv
+        assert first.column("v").histogram == second.column("v").histogram
+
+
+# ----------------------------------------------------------------------
+# Estimator rules
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def synthetic_catalog():
+    catalog = Catalog()
+    catalog.register(Table.from_arrays("t", {
+        "x": np.arange(1000, dtype=np.int64),
+        "y": np.repeat(np.arange(10, dtype=np.int64), 100)}))
+    return catalog
+
+
+@pytest.fixture(scope="module")
+def estimator(synthetic_catalog):
+    return CardinalityEstimator(synthetic_catalog)
+
+
+class TestEstimatorRules:
+    def test_equality_selects_one_over_ndv(self, estimator):
+        assert estimator.estimate_rows(
+            scan("t").filter(col("y") == lit(5))) == 100
+        assert estimator.estimate_rows(
+            scan("t").filter(col("x") == lit(17))) == 1
+
+    def test_equality_outside_range_selects_nothing(self, estimator):
+        assert estimator.estimate_rows(
+            scan("t").filter(col("x") == lit(5000))) == 0
+
+    def test_range_estimates_are_monotone_in_the_literal(self, estimator):
+        estimates = [estimator.estimate_rows(
+            scan("t").filter(col("x") < lit(k)))
+            for k in range(0, 1100, 100)]
+        assert estimates == sorted(estimates)
+        assert estimates[0] == 0
+        assert estimates[-1] == 1000
+        # Uniform data: equi-width bins put the estimate within one bin
+        # width of the truth.
+        assert estimator.estimate_rows(
+            scan("t").filter(col("x") < lit(250))) == pytest.approx(250, abs=16)
+
+    def test_conjunctions_damp_at_the_floor(self, estimator):
+        rel = estimator.table_estimate("t")
+        predicate = col("y") == lit(5)
+        for _ in range(9):
+            predicate = predicate & (col("y") == lit(5))
+        sel, backed = estimator.selectivity(predicate, rel)
+        assert backed
+        # Independence would say 0.1 ** 10 = 1e-10; the floor holds it up.
+        assert sel == pytest.approx(CONJUNCTION_FLOOR)
+
+    def test_zero_conjunct_still_zeroes_the_conjunction(self, estimator):
+        rel = estimator.table_estimate("t")
+        sel, backed = estimator.selectivity(
+            (col("y") == lit(5)) & (col("x") == lit(5000)), rel)
+        assert backed
+        assert sel == 0.0
+
+    def test_negation_complements(self, estimator):
+        rel = estimator.table_estimate("t")
+        sel, _ = estimator.selectivity(~(col("y") == lit(5)), rel)
+        assert sel == pytest.approx(0.9)
+
+    def test_unresolvable_predicate_is_not_backed(self, estimator):
+        rel = estimator.table_estimate("t")
+        _, backed = estimator.selectivity(
+            (col("x") + lit(1)) > lit(0), rel)
+        assert not backed
+        estimate = estimator.estimate(
+            scan("t").filter((col("x") + lit(1)) > lit(0)))
+        assert not estimate.backed
+
+    def test_unregistered_table_is_not_backed(self, estimator):
+        estimate = estimator.estimate(scan("nowhere"))
+        assert not estimate.backed
+
+    def test_group_by_outputs_key_ndv(self, estimator):
+        assert estimator.estimate_rows(
+            scan("t").aggregate(["y"], [agg_count("c")])) == 10
+        assert estimator.estimate_rows(
+            scan("t").aggregate([], [agg_sum(col("x"), "s")])) == 1
+
+
+class TestJoinEstimates:
+    @pytest.fixture(scope="class")
+    def tpch_estimator(self, tpch_dataset):
+        catalog = Catalog()
+        for table in tpch_dataset.tables.values():
+            catalog.register(table)
+        return CardinalityEstimator(catalog), tpch_dataset
+
+    def test_fk_join_estimates_the_probe_side(self, tpch_estimator):
+        estimator, dataset = tpch_estimator
+        lineitem_rows = dataset.table("lineitem").num_rows
+        plan = scan("orders", ["o_orderkey"]).join(
+            scan("lineitem", ["l_orderkey", "l_extendedprice"]),
+            ["o_orderkey"], ["l_orderkey"])
+        # Containment: |O| * |L| / ndv(o_orderkey) = |L| exactly (NDV is
+        # exact below the sampling threshold).
+        assert estimator.estimate_rows(plan) == pytest.approx(
+            lineitem_rows, rel=0.05)
+
+    def test_selective_build_scales_the_join_down(self, tpch_estimator):
+        estimator, dataset = tpch_estimator
+        lineitem_rows = dataset.table("lineitem").num_rows
+        full = scan("orders", ["o_orderkey"]).join(
+            scan("lineitem", ["l_orderkey"]), ["o_orderkey"], ["l_orderkey"])
+        half = scan("orders", ["o_orderkey"]).filter(
+            col("o_orderkey") <= lit(3750)).join(
+            scan("lineitem", ["l_orderkey"]), ["o_orderkey"], ["l_orderkey"])
+        full_rows = estimator.estimate_rows(full)
+        half_rows = estimator.estimate_rows(half)
+        assert half_rows < full_rows
+        assert half_rows == pytest.approx(lineitem_rows / 2, rel=0.2)
+
+    def test_working_set_charges_builds_and_peak(self, tpch_estimator):
+        estimator, _ = tpch_estimator
+        plan = scan("orders", ["o_orderkey"]).join(
+            scan("lineitem", ["l_orderkey", "l_extendedprice"]),
+            ["o_orderkey"], ["l_orderkey"])
+        ws = estimator.working_set(plan)
+        assert ws.backed
+        assert ws.build_bytes > 0
+        assert ws.largest_build_bytes == ws.build_bytes
+        assert ws.total_bytes == ws.peak_intermediate_bytes + ws.build_bytes
+        selective = scan("orders", ["o_orderkey"]).filter(
+            col("o_orderkey") == lit(1)).join(
+            scan("lineitem", ["l_orderkey", "l_extendedprice"]),
+            ["o_orderkey"], ["l_orderkey"])
+        assert estimator.working_set(selective).total_bytes < ws.total_bytes
+
+
+class TestQError:
+    def test_q_error_is_symmetric_and_floored(self):
+        assert q_error(10, 10) == 1.0
+        assert q_error(100, 25) == 4.0
+        assert q_error(25, 100) == 4.0
+        assert q_error(0, 0) == 1.0  # both floored at one row
+        assert q_error(0.2, 1) == 1.0
+
+
+# ----------------------------------------------------------------------
+# Estimation quality on TPC-H
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def sf05_engine():
+    dataset = generate_tpch(scale_factor=0.05, seed=2019)
+    engine = HAPEEngine(default_server())
+    engine.register_dataset(dataset.tables)
+    return engine, dataset
+
+
+class TestTPCHQuality:
+    def test_median_q_error_at_most_four_on_every_query(self, sf05_engine):
+        engine, dataset = sf05_engine
+        for name, query in all_queries(dataset).items():
+            result = engine.execute(query.plan, "hybrid")
+            report = result.cardinality
+            assert report.operators, f"{name} recorded no operators"
+            assert report.median_q_error <= 4.0, (
+                f"{name}: median q-error {report.median_q_error:.2f}\n"
+                + report.describe())
+
+    def test_estimates_never_change_results(self, sf05_engine):
+        engine, dataset = sf05_engine
+        legacy = HAPEEngine(
+            default_server(),
+            optimizer_options=OptimizerOptions(use_statistics=False))
+        legacy.register_dataset(dataset.tables)
+        for name, query in all_queries(dataset).items():
+            stats_result = engine.execute(query.plan, "hybrid")
+            legacy_result = legacy.execute(query.plan, "hybrid")
+            for column in stats_result.table.column_names:
+                assert (stats_result.table.array(column).tobytes()
+                        == legacy_result.table.array(column).tobytes()), (
+                    f"{name}: column {column} diverged with statistics on")
+
+
+# ----------------------------------------------------------------------
+# Lifecycle: statistics live and die with the table
+# ----------------------------------------------------------------------
+class TestLifecycle:
+    def test_register_collects_and_replace_swaps(self):
+        catalog = Catalog()
+        catalog.register(Table.from_arrays("t", {
+            "v": np.repeat(np.arange(4, dtype=np.int64), 25)}))
+        assert catalog.statistics("t").column("v").ndv == 4
+        first_version = catalog.version("t")
+        catalog.register(Table.from_arrays("t", {
+            "v": np.arange(100, dtype=np.int64)}), replace=True)
+        assert catalog.statistics("t").column("v").ndv == 100
+        assert catalog.version("t") > first_version
+
+    def test_drop_retires_statistics(self):
+        catalog = Catalog()
+        catalog.register(Table.from_arrays("t", {
+            "v": np.arange(10, dtype=np.int64)}))
+        catalog.drop("t")
+        with pytest.raises(CatalogError):
+            catalog.statistics("t")
+
+    def test_replace_changes_the_estimate(self):
+        catalog = Catalog()
+        estimator = CardinalityEstimator(catalog)
+        plan = scan("t").filter(col("v") == lit(1))
+        catalog.register(Table.from_arrays("t", {
+            "v": np.repeat(np.arange(2, dtype=np.int64), 50)}))
+        assert estimator.estimate_rows(plan) == 50
+        catalog.register(Table.from_arrays("t", {
+            "v": np.arange(100, dtype=np.int64)}), replace=True)
+        assert estimator.estimate_rows(plan) == 1
+
+
+# ----------------------------------------------------------------------
+# Refusal contract (the Q9 satellite): plan-time refusal needs backing
+# ----------------------------------------------------------------------
+class TestBackedRefusal:
+    @pytest.fixture()
+    def tiny_gpu_topology(self):
+        return default_server(gpu_spec=gtx_1080().with_memory_capacity(
+            64 * 1024))
+
+    def test_backed_overflow_refused_at_plan_time(self, tiny_gpu_topology,
+                                                  tpch_dataset):
+        engine = HAPEEngine(tiny_gpu_topology)
+        engine.register_dataset(tpch_dataset.tables)
+        plan = scan("orders").join(
+            scan("lineitem", ["l_orderkey", "l_extendedprice"]),
+            ["o_orderkey"], ["l_orderkey"])
+        with pytest.raises(OptimizerError, match="exceeds GPU memory"):
+            engine.plan(plan, "gpu")
+
+    def test_unbacked_overflow_defers_to_the_executor(self, tiny_gpu_topology,
+                                                      tpch_dataset):
+        engine = HAPEEngine(tiny_gpu_topology)
+        engine.register_dataset(tpch_dataset.tables)
+        # The computed LHS makes the filter unresolvable, so the build
+        # estimate is a guess — not grounds for plan-time refusal.  The
+        # true build overflows the 64 KB device at run time instead.
+        plan = (scan("orders")
+                .filter((col("o_orderkey") + lit(0)) >= lit(0))
+                .join(scan("lineitem", ["l_orderkey", "l_extendedprice"]),
+                      ["o_orderkey"], ["l_orderkey"]))
+        physical = engine.plan(plan, "gpu")  # plan-time: accepted
+        assert physical is not None
+        with pytest.raises(OutOfDeviceMemoryError, match="gpu"):
+            engine.execute(plan, "gpu")
+
+    def test_legacy_heuristics_keep_refusing(self, tiny_gpu_topology,
+                                             tpch_dataset):
+        engine = HAPEEngine(
+            tiny_gpu_topology,
+            optimizer_options=OptimizerOptions(use_statistics=False))
+        engine.register_dataset(tpch_dataset.tables)
+        plan = (scan("orders")
+                .filter((col("o_orderkey") + lit(0)) >= lit(0))
+                .join(scan("lineitem", ["l_orderkey", "l_extendedprice"]),
+                      ["o_orderkey"], ["l_orderkey"]))
+        with pytest.raises(OptimizerError, match="exceeds GPU memory"):
+            engine.plan(plan, "gpu")
+
+
+# ----------------------------------------------------------------------
+# Session-level auto mode
+# ----------------------------------------------------------------------
+class TestAutoMode:
+    def test_small_queries_stay_on_cpus(self, engine):
+        plan = scan("region").aggregate([], [agg_count("c")])
+        assert engine.resolve_mode(plan, "auto") is ExecutionMode.CPU_ONLY
+
+    def test_large_scans_offload_when_they_fit(self, engine, monkeypatch):
+        # The SF 0.005 test dataset never clears the real 32 MB PCIe
+        # amortization bar; lower it to observe the offload decision.
+        monkeypatch.setattr("repro.engine.optimizer.GPU_OFFLOAD_MIN_BYTES",
+                            1024)
+        plan = (scan("lineitem", ["l_orderkey", "l_extendedprice"])
+                .filter(col("l_orderkey") > lit(0))
+                .aggregate([], [agg_sum(col("l_extendedprice"), "s")]))
+        assert engine.resolve_mode(plan, "auto") is ExecutionMode.GPU_ONLY
+
+    def test_oversized_working_sets_coprocess(self, tpch_dataset):
+        tiny = default_server(gpu_spec=gtx_1080().with_memory_capacity(
+            64 * 1024))
+        engine = HAPEEngine(tiny)
+        engine.register_dataset(tpch_dataset.tables)
+        plan = scan("orders").join(
+            scan("lineitem", ["l_orderkey", "l_extendedprice"]),
+            ["o_orderkey"], ["l_orderkey"])
+        assert engine.resolve_mode(plan, "auto") is ExecutionMode.HYBRID
+
+    def test_unbacked_estimates_hedge_to_hybrid(self, engine):
+        plan = (scan("lineitem", ["l_orderkey", "l_quantity"])
+                .filter((col("l_quantity") + lit(0.0)) > lit(0.0))
+                .aggregate([], [agg_count("c")]))
+        assert engine.resolve_mode(plan, "auto") is ExecutionMode.HYBRID
+
+    def test_auto_resolution_executes_end_to_end(self, engine):
+        plan = scan("nation").aggregate([], [agg_count("c")])
+        result = engine.execute(plan, "auto")
+        assert result.mode is ExecutionMode.CPU_ONLY
+        assert result.table.num_rows == 1

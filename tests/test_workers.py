@@ -228,23 +228,34 @@ class TestQueryCacheRaces:
 # Race stress: the shared (multi-tenant) cache
 # ----------------------------------------------------------------------
 class TestSharedQueryCacheRaces:
-    def test_tenant_brackets_are_thread_local(self):
+    def test_tenant_brackets_trace_then_commit_deterministically(self):
         cache = SharedQueryCache(budget_bytes=None)
         cache.put("warm", {"x": np.arange(2, dtype=np.int64)}, nbytes=16)
+        cache.begin_epoch()
+        brackets: dict[int, object] = {}
 
         def worker(index: int) -> None:
             tenant = f"tenant{index}"
-            with cache.tenant(tenant):
+            with cache.tenant(tenant) as bracket:
                 for op in range(STRESS_OPS):
                     cache.get("warm" if op % 2 else ("cold", index, op))
+            brackets[index] = bracket
 
         _hammer(worker)
+        # Tracing alone moves nothing: counters are a commit-time affair.
+        assert cache.counters().lookups == 0
+        assert all(c.lookups == 0
+                   for c in cache.tenant_counters().values())
+        for index in range(STRESS_THREADS):
+            delta = cache.commit(brackets[index])
+            # Attribution never bleeds across brackets: each commit sees
+            # exactly its own traffic, half warm hits, half cold misses.
+            assert delta.hits == STRESS_OPS // 2
+            assert delta.misses == STRESS_OPS - STRESS_OPS // 2
         per_tenant = cache.tenant_counters()
         assert len(per_tenant) == STRESS_THREADS
         for index in range(STRESS_THREADS):
             counters = per_tenant[f"tenant{index}"]
-            # Attribution never bleeds across brackets: each tenant sees
-            # exactly its own traffic, half warm hits, half cold misses.
             assert counters.lookups == STRESS_OPS
             assert counters.hits == STRESS_OPS // 2
             assert counters.misses == STRESS_OPS - STRESS_OPS // 2
@@ -252,6 +263,33 @@ class TestSharedQueryCacheRaces:
         assert totals.lookups == STRESS_THREADS * STRESS_OPS
         assert totals.hits == sum(c.hits for c in per_tenant.values())
         assert totals.misses == sum(c.misses for c in per_tenant.values())
+
+    def test_racing_lookups_commit_one_miss_in_pick_order(self):
+        # However the worker threads interleave — whoever actually
+        # computed the shared kernel first — classification happens at
+        # commit, in the caller's (the server's pick) order: exactly one
+        # miss, charged to the first committed bracket, hits for the
+        # rest.  This is the deterministic-attribution contract.
+        cache = SharedQueryCache(budget_bytes=None)
+        cache.begin_epoch()
+        brackets: dict[int, object] = {}
+
+        def worker(index: int) -> None:
+            with cache.tenant(f"tenant{index}") as bracket:
+                if cache.get("shared") is None:
+                    cache.put("shared",
+                              {"x": np.arange(2, dtype=np.int64)}, nbytes=16)
+            brackets[index] = bracket
+
+        _hammer(worker)
+        deltas = [cache.commit(brackets[index])
+                  for index in range(STRESS_THREADS)]
+        assert deltas[0].misses == 1 and deltas[0].hits == 0
+        for delta in deltas[1:]:
+            assert delta.hits == 1 and delta.misses == 0
+        totals = cache.counters()
+        assert totals.misses == 1
+        assert totals.hits == STRESS_THREADS - 1
 
     def test_unbracketed_traffic_is_not_attributed(self):
         cache = SharedQueryCache(budget_bytes=None)

@@ -9,7 +9,12 @@ latest run containing a ``scale`` suite and asserts:
    device busy times and link bytes of every TPC-H query/mode were
    bit-identical at workers in {1, 2, 4, auto}.  This gate always runs —
    determinism does not depend on the host.
-2. **Wall-clock speedup.**  The suite reaches at least ``--min-speedup``
+2. **Server-drain identity with the shared cache enabled.**  The suite's
+   ``server_cache_identical_across_workers`` flag is true: a multi-tenant
+   drain with cross-session caching ON reported identical ticket
+   statuses, simulated seconds and tenant-attributed hit/miss counters
+   at workers {1, 2, auto} (the trace/commit attribution contract).
+3. **Wall-clock speedup.**  The suite reaches at least ``--min-speedup``
    (default 1.5) times the ``workers=1`` wall-clock at 4 workers.  This
    gate only runs on hosts with at least ``--min-cpus`` (default 4) CPUs
    — on smaller machines 4 worker threads share the same cores and no
@@ -66,6 +71,16 @@ def main(argv: list[str] | None = None) -> int:
             "simulated seconds / device busy / link bytes diverged across "
             "worker counts (simulated_identical_across_workers is false)")
 
+    # The server-drain leg runs with the shared cache ENABLED: ticket
+    # statuses, simulated seconds and the tenant-attributed hit/miss
+    # counters must be identical at workers {1, 2, auto}.
+    if "server_cache_identical_across_workers" in scale:
+        if not scale["server_cache_identical_across_workers"]:
+            failures.append(
+                "server drain with the shared cache enabled diverged "
+                "across worker counts "
+                "(server_cache_identical_across_workers is false)")
+
     cpu_count = int(scale.get("cpu_count", 0))
     speedup = float(scale.get("speedup_at_4_workers", 0.0))
     if cpu_count >= args.min_cpus:
@@ -88,9 +103,11 @@ def main(argv: list[str] | None = None) -> int:
     walls = ", ".join(
         f"w={workers}:{data['wall_clock_seconds']:.3f}s"
         for workers, data in scale.get("workers", {}).items())
+    served = ("; server drain + shared cache identical at {1,2,auto}"
+              if scale.get("server_cache_identical_across_workers") else "")
     print(f"scale suite ok: sims bit-identical across workers; {walls}"
           + (f"; {speedup:.2f}x at 4 workers" if cpu_count >= args.min_cpus
-             else ""))
+             else "") + served)
     return 0
 
 
