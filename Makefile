@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test fuzz coverage examples bench bench-full serve-bench scale-bench stats chaos open-loop docs-check
+.PHONY: test fuzz coverage examples bench bench-full serve-bench scale-bench stats chaos open-loop trace docs-check
 
 ## Tier-1 test suite (what CI runs).  Includes 200 seeded differential
 ## plan-fuzzing cases; `make fuzz` cranks the seed count.
@@ -89,6 +89,18 @@ chaos:
 		--sf 0.05 --repeat 1 --output /tmp/BENCH_chaos_smoke.json
 	$(PYTHON) tools/check_chaos.py --bench /tmp/BENCH_chaos_smoke.json \
 		--baseline BENCH_results.json
+
+## Tracing smoke run (CI job "obs"): a fault-injected, preempting chaos
+## epoch served with tracing on at workers {1,2,auto} plus a replay into
+## a scratch file, then gate the invariants — epoch JSONL byte-identical
+## across all four drains, Chrome export Perfetto-loadable, every
+## critical path names its binding resource, and the tracing-off path
+## is at most 2% slower than the traced control on the TPC-H suite.
+trace:
+	$(PYTHON) benchmarks/run_benchmarks.py --suites trace \
+		--sf 0.05 --repeat 1 --output /tmp/BENCH_trace_smoke.json
+	$(PYTHON) tools/check_trace.py --bench /tmp/BENCH_trace_smoke.json \
+		--max-overhead-pct 2.0
 
 ## Open-loop smoke run (CI job "open-loop"): the cold tpch suite plus the
 ## 4-tenant Poisson/trace open-loop suite (preemption + aging on) into a

@@ -82,6 +82,7 @@ from ..errors import ExecutionError, OutOfDeviceMemoryError
 from ..hardware.device import Device
 from ..hardware.specs import DeviceKind
 from ..hardware.topology import Topology
+from ..obs.trace import QueryTrace, Span
 from ..operators.aggregate import (
     estimate_hash_aggregate,
     estimate_merge_partials,
@@ -156,6 +157,16 @@ from .workers import WorkerPool, resolve_workers
 _KernelResult = TypeVar("_KernelResult")
 
 
+def plan_slots(plan: PhysicalOp) -> dict[int, int]:
+    """Map a plan's global node ids to plan-local ordinals (walk order).
+
+    Node ids come from a process-global counter, so two optimizations of
+    the same query number their nodes differently; traces and span joins
+    use these stable ordinals instead.
+    """
+    return {node.node_id: slot for slot, node in enumerate(plan.walk())}
+
+
 @dataclass(frozen=True)
 class ExecutorOptions:
     """Execution knobs (exposed for ablation benchmarks)."""
@@ -194,6 +205,12 @@ class ExecutorOptions:
     #: :class:`~repro.engine.workers.WorkerPool` keeps outputs, stats and
     #: simulated seconds bit-identical at every worker count.
     workers: int | str | None = None
+    #: Record operator-level spans (:class:`~repro.obs.trace.QueryTrace`
+    #: on :attr:`ExecutionResult.trace`).  Spans are appended on the query
+    #: thread at the cost-charging points — canonical plan order — so a
+    #: trace is byte-identical at every worker count; results, simulated
+    #: seconds and all counters are bit-identical with tracing on or off.
+    tracing: bool = False
 
 
 @dataclass
@@ -495,7 +512,7 @@ class _HashJoinProbeStage:
         devices = meta.devices or executor._default_devices()
         ready_build = executor._prepare_hash_join(self.build, devices,
                                                   earliest)
-        ready = executor._charge_hash_join(devices, stats, meta,
+        ready = executor._charge_hash_join(self.node, devices, stats, meta,
                                            earliest=earliest,
                                            ready_build=ready_build)
         return _StageMeta(ready=ready, location=meta.location,
@@ -531,6 +548,9 @@ class ExecutionResult:
     #: exchanges forward batches and are excluded).  Identical warm and
     #: cold: warm runs recover the counts from the cached stats records.
     operator_rows: dict[int, int] = field(default_factory=dict)
+    #: Operator spans plus raw task slices (``ExecutorOptions.tracing``);
+    #: ``None`` when tracing is off.
+    trace: QueryTrace | None = None
 
     def utilization(self, resource: str) -> float:
         if self.simulated_seconds <= 0:
@@ -587,6 +607,12 @@ class Executor:
         #: *initial* counts, not the ones :meth:`_memoized_kernel` decays.
         self._plan_refs: dict[tuple, int] = {}
         self._table_versions: dict[str, int] = {}
+        # Tracing state: a span list while the current query traces
+        # (``None`` = off — the single check every trace point makes) and
+        # the per-node cache status / morsel counts recorded inside the
+        # kernel memo (session-owned caches only; see _memoized_kernel).
+        self._trace_spans: list[Span] | None = None
+        self._trace_kernel: dict[int, tuple[str, int]] = {}
 
     def configure_morsels(self, morsel_rows: int | None) -> None:
         """Re-tune the morsel granularity (the ``morsel_rows`` knob)."""
@@ -653,6 +679,19 @@ class Executor:
             raise ValueError("pipeline_fusion must be a bool")
         self.options = replace(self.options, pipeline_fusion=enabled)
 
+    def configure_tracing(self, enabled: bool) -> None:
+        """Re-tune operator-span tracing (the ``tracing`` knob).
+
+        Takes effect for the next :meth:`execute`.  Tracing is purely
+        additive: results, simulated seconds, device busy times, link
+        bytes and cache counters are bit-identical with tracing on or
+        off — the spans only *record* what the cost charging already
+        computes, on the query thread, in canonical plan order.
+        """
+        if not isinstance(enabled, bool):
+            raise ValueError("tracing must be a bool")
+        self.options = replace(self.options, tracing=enabled)
+
     def _require_cache_ownership(self) -> None:
         if not getattr(self, "_owns_cache", True):
             raise ValueError(
@@ -666,6 +705,8 @@ class Executor:
         self.scheduler.reset()
         self._peak_intermediate = 0
         self._node_rows: dict[int, int] = {}
+        self._trace_spans = [] if self.options.tracing else None
+        self._trace_kernel = {}
         self._query_memo = {}
         self._key_cache = {}
         # Snapshot the catalog versions once: the catalog cannot change
@@ -691,6 +732,9 @@ class Executor:
             self._cache_mark = counters
         timeline = self.topology.timeline()
         makespan = max(timeline.makespan, result.ready)
+        link_bytes = {link.name: link.bytes_moved
+                      for link in self.topology.links}
+        trace = self._assemble_trace(plan, timeline, makespan, link_bytes)
         table = Table("result", [Column(name, values)
                                  for name, values in result.columns.items()]) \
             if result.columns else Table.from_arrays("result", {"empty": np.asarray([0])[:0]})
@@ -698,14 +742,40 @@ class Executor:
             table=table,
             simulated_seconds=makespan,
             device_busy={clock.resource: clock.busy_time for clock in timeline},
-            link_bytes={link.name: link.bytes_moved
-                        for link in self.topology.links},
+            link_bytes=link_bytes,
             plan=plan,
             morsels_dispatched=self.scheduler.morsels_dispatched,
             cache=cache_delta,
             peak_intermediate_bytes=self._peak_intermediate,
             operator_rows=dict(self._node_rows),
+            trace=trace,
         )
+
+    def _assemble_trace(self, plan: PhysicalOp, timeline, makespan: float,
+                        link_bytes: dict[str, int]) -> QueryTrace | None:
+        """Join the recorded spans with rows/cache info into a QueryTrace."""
+        spans = self._trace_spans
+        if spans is None:
+            return None
+        self._trace_spans = None
+        # Plan node ids come from a global counter, so two optimizations
+        # of the same query number their nodes differently.  Traces use
+        # plan-local ordinals (walk order) instead, making the JSONL of
+        # identical plans byte-identical across re-plans and sessions.
+        slots = plan_slots(plan)
+        for span in spans:
+            rows = self._node_rows.get(span.node_id)
+            if rows is not None:
+                span.rows = rows
+            kernel = self._trace_kernel.get(span.node_id)
+            if kernel is not None:
+                span.cache, span.morsels = kernel
+            span.node_id = slots.get(span.node_id, span.node_id)
+        self._trace_kernel = {}
+        return QueryTrace(
+            spans=spans, tasks=tuple(timeline.records()), makespan=makespan,
+            link_bytes=dict(link_bytes),
+            morsels_dispatched=self.scheduler.morsels_dispatched)
 
     # ------------------------------------------------------------------
     # Helpers
@@ -748,13 +818,19 @@ class Executor:
         key = self._structural(node)
         variants = self._query_memo.get(key)
         result = None if variants is None else variants.get(tuning)
+        status = "overlay"
+        morsel_delta = 0
         if result is None:
             session_key = (key, tuning)
             if self.query_cache.enabled:
                 result = self.query_cache.get(session_key)
             if result is None:
+                status = "miss"
+                morsels_before = self.scheduler.morsels_dispatched
                 started = time.perf_counter()
                 result = run()
+                morsel_delta = (self.scheduler.morsels_dispatched
+                                - morsels_before)
                 if self.query_cache.enabled:
                     # The measured evaluation time is the recompute-cost
                     # signal of the "cost" eviction policy; it is recorded
@@ -765,7 +841,17 @@ class Executor:
                         nbytes=0 if zero_copy else result_nbytes(result),
                         tables=referenced_tables(node),
                         cost_seconds=time.perf_counter() - started)
+            else:
+                status = "hit"
             self._query_memo.setdefault(key, {})[tuning] = result
+        if self._trace_spans is not None and self._owns_cache:
+            # Cache warmth is a per-span diagnostic only for session-owned
+            # caches: raw lookup outcomes against a server-shared cache
+            # race between tenants, so served traces attribute cache
+            # activity from the committed counters instead (the server's
+            # "complete" event).  VOLATILE_SPAN_KEYS strips these for the
+            # warm-vs-cold timing contract.
+            self._trace_kernel[node.node_id] = (status, morsel_delta)
         remaining = self._key_refs.get(key, 0) - 1
         if remaining <= 0:
             self._query_memo.pop(key, None)
@@ -912,6 +998,26 @@ class Executor:
         return columns, tuple(stage.finish() for stage in stages)
 
     # ------------------------------------------------------------------
+    # Tracing
+    # ------------------------------------------------------------------
+    def _trace_span(self, node: PhysicalOp, op: str, *, start: float,
+                    end: float, devices: Sequence[Device], location: str,
+                    input_bytes: int, **attrs: object) -> None:
+        """Record one operator span (no-op unless this query traces).
+
+        Called exclusively from the cost-charging methods — which run on
+        the query thread in canonical plan order for both the unfused
+        path and the fused chains' replay — so the span list is
+        byte-identical at every worker count.
+        """
+        if self._trace_spans is None:
+            return
+        self._trace_spans.append(Span(
+            node_id=node.node_id, op=op, start=start, end=end,
+            devices=tuple(device.name for device in devices),
+            location=location, input_bytes=int(input_bytes), attrs=attrs))
+
+    # ------------------------------------------------------------------
     # Per-operator cost charging (shared by the unfused execution path
     # and the fused chains' replay — one code path, identical clocks)
     # ------------------------------------------------------------------
@@ -925,6 +1031,9 @@ class Executor:
         cpu = self._anchor_cpu()
         record = cpu.charge(1e-6 * max(len(devices), 1),
                             earliest=child.ready, label="router")
+        self._trace_span(node, "router", start=child.ready, end=record.end,
+                         devices=devices, location=child.location,
+                         input_bytes=child.nbytes)
         return replace(child, ready=record.end, devices=devices)
 
     def _charge_memmove(self, node: MemMove, child: _StageMeta) -> _StageMeta:
@@ -947,6 +1056,10 @@ class Executor:
                                               label="mem-move"))
         location = (destinations[0] if len(destinations) == 1
                     else "distributed:" + ",".join(destinations))
+        self._trace_span(node, "mem-move", start=child.ready, end=ready,
+                         devices=child.devices, location=child.location,
+                         input_bytes=nbytes, destination=location,
+                         broadcast=node.broadcast)
         return replace(child, ready=ready, location=location)
 
     def _charge_crossing(self, node: DeviceCrossing,
@@ -963,6 +1076,10 @@ class Executor:
                                    earliest=child.ready,
                                    label="device-crossing")
             ready = max(ready, record.end)
+        self._trace_span(node, "device-crossing", start=child.ready, end=ready,
+                         devices=targets, location=child.location,
+                         input_bytes=child.nbytes,
+                         target_kind=node.target_kind.value)
         return replace(child, ready=ready, devices=targets)
 
     def _charge_filter_project(self, node: PFilterProject, child: _StageMeta,
@@ -979,6 +1096,9 @@ class Executor:
             devices, cost_by_kind, fractions, earliest=child.ready,
             input_bytes=child.nbytes, data_location=child.location,
             label="filter-project")
+        self._trace_span(node, "filter-project", start=child.ready, end=ready,
+                         devices=devices, location=child.location,
+                         input_bytes=child.nbytes)
         return replace(child, ready=ready, devices=devices)
 
     def _prepare_hash_join(self, build, devices: Sequence[Device],
@@ -1000,20 +1120,26 @@ class Executor:
                 allocation.free()
         return ready_build
 
-    def _charge_hash_join(self, devices: Sequence[Device], stats: JoinStats,
-                          probe: _StageMeta, *, earliest: float,
-                          ready_build: float) -> float:
+    def _charge_hash_join(self, node: PJoin, devices: Sequence[Device],
+                          stats: JoinStats, probe: _StageMeta, *,
+                          earliest: float, ready_build: float) -> float:
         cost_by_kind: dict[DeviceKind, OpCost] = {
             kind: estimate_non_partitioned_join(
                 stats, self._representative(devices, kind))
             for kind in {device.kind for device in devices}
         }
         fractions = self._split_fractions(devices, probe.location)
-        return self._charge_parallel(
+        ready = self._charge_parallel(
             devices, cost_by_kind, fractions,
             earliest=max(earliest, ready_build),
             input_bytes=probe.nbytes, data_location=probe.location,
             label="hash-join", join_shuffle=True)
+        self._trace_span(node, "hash-join", start=earliest, end=ready,
+                         devices=devices, location=probe.location,
+                         input_bytes=probe.nbytes,
+                         build_rows=stats.build_rows,
+                         probe_rows=stats.probe_rows)
+        return ready
 
     @staticmethod
     def _partition_tuning(spec) -> tuple:
@@ -1137,8 +1263,13 @@ class Executor:
         columns = self._memoized_kernel(
             node, lambda: {name: table.array(name) for name in names},
             zero_copy=True)
-        return NodeResult(columns=columns, ready=0.0, location=table.location,
-                          devices=self._default_devices())
+        result = NodeResult(columns=columns, ready=0.0,
+                            location=table.location,
+                            devices=self._default_devices())
+        self._trace_span(node, "scan", start=0.0, end=0.0,
+                         devices=result.devices, location=table.location,
+                         input_bytes=result.nbytes, table=node.table)
+        return result
 
     def _execute_router(self, node: Router) -> NodeResult:
         child = self._execute_chain(node.child)
@@ -1197,6 +1328,9 @@ class Executor:
                 devices, cost_by_kind, fractions, earliest=child.ready,
                 input_bytes=child.nbytes, data_location=child.location,
                 label="aggregate-partial")
+            self._trace_span(node, "aggregate", start=child.ready, end=ready,
+                             devices=devices, location=child.location,
+                             input_bytes=child.nbytes, phase=node.phase)
             return NodeResult(columns=columns, ready=ready,
                               location=child.location, devices=devices,
                               kernel_tag=child.kernel_tag)
@@ -1220,6 +1354,9 @@ class Executor:
                                            aggregates=node.aggregates)
         record = cpu.charge(cost.seconds, earliest=child.ready,
                             label=f"aggregate-{node.phase}")
+        self._trace_span(node, "aggregate", start=child.ready, end=record.end,
+                         devices=[cpu], location=child.location,
+                         input_bytes=child.nbytes, phase=node.phase)
         return NodeResult(columns=columns, ready=record.end,
                           location=cpu.name, devices=[cpu],
                           kernel_tag=child.kernel_tag)
@@ -1233,6 +1370,9 @@ class Executor:
                    for name, values in child.columns.items()}
         record = cpu.charge(cpu.cost.seq_scan(child.nbytes) * 2,
                             earliest=child.ready, label="sort")
+        self._trace_span(node, "sort", start=child.ready, end=record.end,
+                         devices=[cpu], location=child.location,
+                         input_bytes=child.nbytes)
         return NodeResult(columns=columns, ready=record.end,
                           location=cpu.name, devices=[cpu],
                           kernel_tag=child.kernel_tag)
@@ -1281,6 +1421,12 @@ class Executor:
                 self._split_fractions(cpus, probe.location),
                 earliest=earliest, input_bytes=probe.nbytes,
                 data_location=probe.location, label="radix-join-cpu")
+            self._trace_span(node, "radix-join-cpu", start=earliest,
+                             end=ready, devices=cpus,
+                             location=probe.location,
+                             input_bytes=probe.nbytes,
+                             build_rows=build.num_rows,
+                             probe_rows=probe.num_rows)
             return NodeResult(columns=columns, ready=ready,
                               location=cpus[0].name, devices=cpus,
                               kernel_tag=tag)
@@ -1309,6 +1455,12 @@ class Executor:
                 self._split_fractions(gpus, probe.location),
                 earliest=ready_build, input_bytes=probe.nbytes,
                 data_location=probe.location, label="radix-join-gpu")
+            self._trace_span(node, "radix-join-gpu", start=earliest,
+                             end=ready, devices=gpus,
+                             location=probe.location,
+                             input_bytes=probe.nbytes,
+                             build_rows=build.num_rows,
+                             probe_rows=probe.num_rows)
             return NodeResult(columns=columns, ready=ready,
                               location=gpus[0].name, devices=devices,
                               kernel_tag=tag)
@@ -1328,8 +1480,8 @@ class Executor:
                                                  probe.num_rows),
                 output_order=self._join_order(node)),
             tuning=join_tag)
-        ready = self._charge_hash_join(devices, stats, _stage_meta(probe),
-                                       earliest=earliest,
+        ready = self._charge_hash_join(node, devices, stats,
+                                       _stage_meta(probe), earliest=earliest,
                                        ready_build=ready_build)
         return NodeResult(columns=columns, ready=ready,
                           location=probe.location, devices=devices,
@@ -1380,6 +1532,11 @@ class Executor:
             ("coprocessed",
              tuple(self._partition_tuning(gpu.spec) for gpu in gpus),
              tuple(gpu.spec.memory_capacity_bytes for gpu in gpus)),)
+        self._trace_span(node, "coprocessed-join", start=earliest, end=ready,
+                         devices=[cpu, *gpus], location=probe.location,
+                         input_bytes=probe.nbytes,
+                         build_rows=build.num_rows,
+                         probe_rows=probe.num_rows)
         return NodeResult(columns=result.columns, ready=ready,
                           location=cpu.name, devices=[cpu, *gpus],
                           kernel_tag=coproc_tag)

@@ -25,12 +25,13 @@ from dataclasses import dataclass, field
 
 from ..codegen.pipeline import Pipeline, break_into_pipelines
 from ..hardware.topology import Topology, default_server
+from ..obs.trace import QueryTrace
 from ..relational.logical import LogicalPlan
 from ..relational.physical import PhysicalOp
 from ..stats.cardinality import CardinalityReport, build_report
 from ..storage.catalog import Catalog
 from ..storage.table import Table
-from .executor import ExecutionResult, Executor, ExecutorOptions
+from .executor import ExecutionResult, Executor, ExecutorOptions, plan_slots
 from .modes import ExecutionMode
 from .optimizer import Optimizer, OptimizerOptions
 from .querycache import CacheCounters, QueryCacheStats
@@ -76,6 +77,11 @@ class QueryResult:
     #: suite tracks over time.  Purely diagnostic: estimates influence
     #: plan *choice* only, never what a chosen plan computes.
     cardinality: CardinalityReport = field(default_factory=CardinalityReport)
+    #: Operator spans, raw task slices and critical-path analysis for this
+    #: query (the session's ``tracing`` knob); ``None`` when tracing is
+    #: off.  Purely additive — every other field is bit-identical with
+    #: tracing on or off.
+    trace: QueryTrace | None = None
 
     @property
     def makespan_ms(self) -> float:
@@ -155,6 +161,16 @@ class HAPEEngine:
         Wall-clock only — results, simulated seconds, device busy times
         and cache counters are bit-identical at every worker count.
         Overrides ``executor_options.workers`` when both are given.
+    tracing:
+        Record a :class:`~repro.obs.QueryTrace` on every
+        :attr:`QueryResult.trace`: operator spans (placement, timing,
+        bytes, rows, estimated-vs-actual rows, cache status), the raw
+        device/link task slices and a critical-path analysis.  Off by
+        default; purely additive — results, simulated seconds and all
+        counters are bit-identical with tracing on or off, and traces
+        are byte-identical at every worker count (see
+        ``docs/OBSERVABILITY.md``).  Overrides
+        ``executor_options.tracing`` when both are given.
     catalog / query_cache:
         Normally omitted — the session owns a private catalog and cache.
         A :class:`~repro.server.QueryServer` passes its *shared* catalog
@@ -172,6 +188,7 @@ class HAPEEngine:
                  pipeline_fusion: bool = _UNSET,  # type: ignore[assignment]
                  cache_eviction: str = _UNSET,  # type: ignore[assignment]
                  workers: int | str | None = _UNSET,  # type: ignore[assignment]
+                 tracing: bool = _UNSET,  # type: ignore[assignment]
                  catalog: Catalog | None = None,
                  query_cache=None,
                  ) -> None:
@@ -199,6 +216,8 @@ class HAPEEngine:
             self.executor.configure_eviction(cache_eviction)
         if workers is not _UNSET:
             self.executor.configure_workers(workers)
+        if tracing is not _UNSET:
+            self.executor.configure_tracing(tracing)
 
     # ------------------------------------------------------------------
     # Session knobs
@@ -287,6 +306,22 @@ class HAPEEngine:
         self.executor.configure_workers(value)
 
     @property
+    def tracing(self) -> bool:
+        """Whether queries record operator-span traces (default off).
+
+        Assigning re-tunes the executor in place, so tracing can be
+        toggled per query within one session.  Purely additive: the
+        functional result, simulated seconds and every counter are
+        bit-identical with tracing on or off — a traced query only
+        *additionally* carries :attr:`QueryResult.trace`.
+        """
+        return self.executor.options.tracing
+
+    @tracing.setter
+    def tracing(self, value: bool) -> None:
+        self.executor.configure_tracing(value)
+
+    @property
     def cache_stats(self) -> QueryCacheStats:
         """Session-lifetime snapshot of the query cache (counters + size)."""
         return self.executor.query_cache.stats()
@@ -371,6 +406,24 @@ class HAPEEngine:
         physical = self.plan(logical, mode)
         pipelines = break_into_pipelines(physical)
         result: ExecutionResult = self.executor.execute(physical)
+        cardinality = build_report(
+            self.optimizer.estimator.estimate_physical(physical),
+            result.operator_rows)
+        if result.trace is not None:
+            result.trace.mode = mode.value
+            # Join the optimizer's estimates (and the resulting q-errors)
+            # onto the operator spans — the spans then carry the
+            # estimated-vs-actual story the stats suite aggregates.  Span
+            # node ids were normalized to plan-local ordinals, so the
+            # cardinality report's global ids go through the same map.
+            slots = plan_slots(physical)
+            by_slot = {slots[op.node_id]: op for op in cardinality.operators
+                       if op.node_id in slots}
+            for span in result.trace.spans:
+                op = by_slot.get(span.node_id)
+                if op is not None:
+                    span.est_rows = op.estimated_rows
+                    span.q_error = op.q_error
         return QueryResult(
             table=result.table,
             simulated_seconds=result.simulated_seconds,
@@ -382,9 +435,8 @@ class HAPEEngine:
             morsels_dispatched=result.morsels_dispatched,
             cache=result.cache,
             peak_intermediate_bytes=result.peak_intermediate_bytes,
-            cardinality=build_report(
-                self.optimizer.estimator.estimate_physical(physical),
-                result.operator_rows),
+            cardinality=cardinality,
+            trace=result.trace,
         )
 
 

@@ -117,6 +117,19 @@ class OccupancyBoard:
     def busy_time(self, resource: str) -> float:
         return self.clock(resource).busy_time
 
+    def records(self) -> tuple:
+        """Every reservation on the board, sorted (start, resource, label).
+
+        The server-time busy slices of a whole serving epoch — what the
+        epoch trace exports as per-device/link occupancy tracks.
+        """
+        with self._lock:
+            merged = [record for clock in self._clocks.values()
+                      for record in clock.records]
+        merged.sort(key=lambda record: (record.start, record.resource,
+                                        record.label))
+        return tuple(merged)
+
     @property
     def makespan(self) -> float:
         """Latest reservation end across every tracked resource."""

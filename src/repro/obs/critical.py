@@ -1,0 +1,146 @@
+"""Critical-path analysis over simulated task records.
+
+Given the device/link busy slices a query's (or epoch's) list scheduling
+produced, the critical path answers the question the paper's figures
+revolve around: *which device or interconnect bounded the makespan?*
+
+The walk is purely structural — no cost model, no floating-point
+summation order ambiguity — so it is deterministic for a given set of
+:class:`~repro.hardware.clock.TaskRecord` slices:
+
+1. start from the record that ends at the makespan (ties broken by
+   ``(resource, start, label)``);
+2. repeatedly step to the predecessor record — the record whose end
+   matches the current start (preferring the same resource, the
+   pipeline-stays-on-device case), else the latest-ending record before
+   it, accounting the gap in between as *idle*;
+3. stop at time zero.
+
+The resource contributing the most busy seconds along the path is the
+**binding resource**; when it is an interconnect link the query is
+transfer-bound, otherwise compute-bound.  Idle gaps on the path are
+scheduling slack (an operator waiting for a sibling pipeline), reported
+as :attr:`CriticalPath.idle_seconds`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import AbstractSet, Sequence
+
+from ..hardware.clock import TaskRecord
+
+__all__ = ["CriticalPath", "PathStep", "critical_path"]
+
+#: Tolerance for "record B ends exactly when record A starts": ready
+#: times propagate as identical floats through the cost model, so exact
+#: equality is the common case; the epsilon only absorbs representation
+#: noise from repeated max/add chains.
+_EPS = 1e-12
+
+
+@dataclass(frozen=True)
+class PathStep:
+    """One segment of the critical path: busy work or an idle gap."""
+
+    resource: str
+    label: str
+    start: float
+    end: float
+    #: ``"work"`` (a task record) or ``"idle"`` (scheduling slack).
+    kind: str
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+@dataclass(frozen=True)
+class CriticalPath:
+    """The chain of task records that bounded a simulated makespan."""
+
+    makespan: float
+    steps: tuple[PathStep, ...]
+    #: The resource with the most busy seconds on the path ("idle" when
+    #: there are no records at all).
+    binding_resource: str
+    #: ``"compute"``, ``"transfer"`` (binding resource is a link) or
+    #: ``"idle"`` (no work recorded).
+    bound: str
+    idle_seconds: float
+    #: Busy seconds per resource along the path (not the whole timeline).
+    resource_seconds: dict[str, float]
+
+    def describe(self) -> str:
+        lines = [
+            f"critical path: makespan {self.makespan * 1e3:.3f} ms, "
+            f"bound by {self.binding_resource} ({self.bound}), "
+            f"idle {self.idle_seconds * 1e3:.3f} ms",
+        ]
+        ranked = sorted(self.resource_seconds.items(),
+                        key=lambda item: (-item[1], item[0]))
+        for resource, seconds in ranked:
+            lines.append(f"  {resource:>8}: {seconds * 1e3:.3f} ms on path")
+        return "\n".join(lines)
+
+
+def critical_path(records: Sequence[TaskRecord], makespan: float, *,
+                  links: AbstractSet[str] = frozenset()) -> CriticalPath:
+    """Walk the critical path through ``records`` back from ``makespan``.
+
+    ``links`` names the resources that are interconnects (so the result
+    can classify transfer-bound paths); every other resource is treated
+    as compute.
+    """
+    if not records:
+        return CriticalPath(makespan=makespan, steps=(),
+                            binding_resource="idle", bound="idle",
+                            idle_seconds=makespan, resource_seconds={})
+    ordered = sorted(records, key=lambda r: (r.end, r.start, r.resource,
+                                             r.label))
+    last_end = ordered[-1].end
+    current = min((r for r in ordered if r.end >= last_end - _EPS),
+                  key=lambda r: (r.resource, r.start, r.label))
+    steps: list[PathStep] = []
+    visited: set[int] = set()
+    while True:
+        visited.add(id(current))
+        steps.append(PathStep(resource=current.resource, label=current.label,
+                              start=current.start, end=current.end,
+                              kind="work"))
+        cursor = current.start
+        if cursor <= _EPS:
+            break
+        predecessors = [r for r in ordered
+                        if r.end <= cursor + _EPS and id(r) not in visited]
+        if not predecessors:
+            steps.append(PathStep(resource="idle", label="idle", start=0.0,
+                                  end=cursor, kind="idle"))
+            break
+        best_end = max(r.end for r in predecessors)
+        candidates = [r for r in predecessors if r.end >= best_end - _EPS]
+        same_resource = [r for r in candidates
+                         if r.resource == current.resource]
+        pool = same_resource or candidates
+        chosen = min(pool, key=lambda r: (r.resource, r.start, r.label))
+        if best_end < cursor - _EPS:
+            steps.append(PathStep(resource="idle", label="idle",
+                                  start=best_end, end=cursor, kind="idle"))
+        current = chosen
+    if makespan > last_end + _EPS:
+        steps.insert(0, PathStep(resource="idle", label="idle",
+                                 start=last_end, end=makespan, kind="idle"))
+    steps.reverse()
+    resource_seconds: dict[str, float] = {}
+    idle_seconds = 0.0
+    for step in steps:
+        if step.kind == "idle":
+            idle_seconds += step.duration
+        else:
+            resource_seconds[step.resource] = (
+                resource_seconds.get(step.resource, 0.0) + step.duration)
+    binding = max(sorted(resource_seconds), key=resource_seconds.__getitem__)
+    return CriticalPath(
+        makespan=makespan, steps=tuple(steps), binding_resource=binding,
+        bound="transfer" if binding in links else "compute",
+        idle_seconds=idle_seconds, resource_seconds=resource_seconds)

@@ -24,7 +24,7 @@ import json
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Mapping
 
-from ..engine.querycache import QueryCacheStats
+from ..engine.querycache import CacheCounters, QueryCacheStats
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
     from .server import ServerReport
@@ -65,6 +65,10 @@ _TENANT_METRICS = (
     ("slo_p99_seconds", "Tenant p99 latency objective (0 = none).", "gauge"),
     ("slo_met", "1 tenant met its SLO, 0 missed, absent without SLO.",
      "gauge"),
+    ("cache_hits_total", "Tenant shared-cache hits (committed attribution).",
+     "counter"),
+    ("cache_misses_total",
+     "Tenant shared-cache misses (committed attribution).", "counter"),
 )
 
 
@@ -92,8 +96,17 @@ class MetricsSnapshot:
     @classmethod
     def collect(cls, *, report: "ServerReport | None",
                 cache: QueryCacheStats,
-                device_health: Mapping[str, str]) -> "MetricsSnapshot":
-        """Build a snapshot from a report (``None`` = no epoch yet)."""
+                device_health: Mapping[str, str],
+                tenant_cache: Mapping[str, CacheCounters] | None = None,
+                extra: Mapping[str, float] | None = None
+                ) -> "MetricsSnapshot":
+        """Build a snapshot from a report (``None`` = no epoch yet).
+
+        ``tenant_cache`` carries the shared cache's committed per-tenant
+        hit/miss attribution; ``extra`` carries derived gauges (epoch
+        median q-error, per-device occupancy) whose keys may embed a
+        Prometheus label set (``'device_occupancy{device="gpu0"}'``).
+        """
         server: dict[str, float] = {name: 0 for name, _, _ in _SERVER_METRICS}
         server["slos_met"] = 1
         tenants: dict[str, dict[str, float]] = {}
@@ -128,6 +141,11 @@ class MetricsSnapshot:
                 if tenant.slo_met is not None:
                     samples["slo_met"] = int(tenant.slo_met)
                 tenants[name] = samples
+        for name in sorted(tenant_cache or {}):
+            counters = tenant_cache[name]
+            samples = tenants.setdefault(name, {})
+            samples["cache_hits_total"] = counters.hits
+            samples["cache_misses_total"] = counters.misses
         devices = dict(sorted(device_health.items()))
         degraded = any(state != "healthy" for state in devices.values())
         cache_samples = {
@@ -140,7 +158,8 @@ class MetricsSnapshot:
         }
         return cls(server=server, tenants=tenants, devices=devices,
                    cache=cache_samples,
-                   health="degraded" if degraded else "ok")
+                   health="degraded" if degraded else "ok",
+                   extra=dict(extra or {}))
 
     # ------------------------------------------------------------------
     def as_dict(self) -> dict:
@@ -152,6 +171,7 @@ class MetricsSnapshot:
                         for name, samples in self.tenants.items()},
             "devices": dict(self.devices),
             "cache": dict(self.cache),
+            "extra": dict(self.extra),
         }
 
     def to_json(self, *, indent: int | None = None) -> str:
@@ -190,6 +210,20 @@ class MetricsSnapshot:
             lines.append(f"# HELP {name} Shared query cache {suffix}.")
             lines.append(f"# TYPE {name} {kind}")
             lines.append(f"{name} {_format_value(value)}")
+        seen_extra: set[str] = set()
+        for key in self.extra:
+            base = key.split("{", 1)[0]
+            if base in seen_extra:
+                continue
+            seen_extra.add(base)
+            name = f"repro_{base}"
+            lines.append(f"# HELP {name} Derived epoch gauge ({base}).")
+            lines.append(f"# TYPE {name} gauge")
+            for sample, value in self.extra.items():
+                if sample.split("{", 1)[0] != base:
+                    continue
+                labels = sample[len(base):]
+                lines.append(f"{name}{labels} {_format_value(value)}")
         name = "repro_server_healthy"
         lines.append(f"# HELP {name} 1 when every device is healthy.")
         lines.append(f"# TYPE {name} gauge")

@@ -54,6 +54,7 @@ import heapq
 import itertools
 import math
 from dataclasses import dataclass, field
+from statistics import median
 
 import numpy as np
 
@@ -74,6 +75,8 @@ from ..errors import (
 from ..faults import CircuitBreaker, FaultInjector, FaultPlan, InjectedFault
 from ..hardware.specs import DeviceKind
 from ..hardware.topology import Topology, default_server
+from ..obs.trace import EpochTrace, TracedQuery
+from ..obs.tracer import Tracer
 from ..relational.logical import LogicalPlan
 from ..stats.cardinality import CardinalityEstimator
 from ..storage.catalog import Catalog
@@ -381,6 +384,18 @@ class QueryServer:
         one class per ``aging_seconds`` of simulated wait, and a batch
         query that has waited two full steps can no longer be chosen as
         a preemption victim.  ``None`` (default) disables aging.
+    tracing:
+        Record a deterministic epoch trace (:attr:`last_trace`, an
+        :class:`~repro.obs.EpochTrace`): every lifecycle event
+        (submit/admit/dispatch, preemptions, retries, failovers, breaker
+        and fault transitions, SLO grading) on the simulated server
+        clock, plus per-query operator traces (tenant sessions open with
+        session tracing on) and the occupancy board's busy slices.  All
+        events are recorded on the coordinating thread in canonical
+        admission pick order, so the trace is byte-identical at every
+        worker count and across replays.  Off by default with near-zero
+        overhead (one flag check per lifecycle point); serving results,
+        reports and metrics are bit-identical with tracing on or off.
     """
 
     def __init__(self, topology: Topology | None = None, *,
@@ -393,7 +408,8 @@ class QueryServer:
                  breaker_cooldown_seconds: float = 1.0,
                  workers: int | str = 1,
                  preemption: bool = False,
-                 aging_seconds: float | None = None) -> None:
+                 aging_seconds: float | None = None,
+                 tracing: bool = False) -> None:
         self.topology = topology if topology is not None else default_server()
         self.catalog = Catalog()
         if cache_budget_bytes is None:
@@ -432,6 +448,18 @@ class QueryServer:
         self.last_report: ServerReport | None = None
         self._injector: FaultInjector | None = None
         self._breaker: CircuitBreaker | None = None
+        if not isinstance(tracing, bool):
+            raise ValueError("tracing must be a bool")
+        self.tracing = tracing
+        #: Lifecycle-event recorder (no-op unless ``tracing=True``); all
+        #: appends happen on the coordinating thread in canonical order.
+        self.tracer = Tracer(enabled=tracing)
+        #: The most recent epoch's :class:`~repro.obs.EpochTrace`
+        #: (``None`` before the first traced ``run()`` or when off).
+        self.last_trace: EpochTrace | None = None
+        #: Device-health baseline for transition events (diffed against
+        #: ``topology.health_report()`` at every fault/breaker step).
+        self._last_health: dict[str, str] = {}
 
     # ------------------------------------------------------------------
     # Shared catalog
@@ -444,7 +472,16 @@ class QueryServer:
         tenants at once — the single-session invalidation contract, at
         server scope.
         """
+        before = (self.query_cache.stats().invalidated
+                  if self.tracer.enabled else 0)
         self.catalog.register(table, replace=replace)
+        if self.tracer.enabled:
+            entries = self.query_cache.stats().invalidated - before
+            if replace or entries:
+                # Catalog changes happen between epochs; the event sits at
+                # time zero of the epoch that first observes it.
+                self.tracer.event(0.0, "cache_invalidation",
+                                  table=table.name, entries=entries)
 
     def register_dataset(self, tables: dict[str, Table], *,
                          replace: bool = False) -> None:
@@ -454,7 +491,13 @@ class QueryServer:
 
     def drop_table(self, name: str) -> None:
         """Drop a table; shared-cache entries that read it are discarded."""
+        before = (self.query_cache.stats().invalidated
+                  if self.tracer.enabled else 0)
         self.catalog.drop(name)
+        if self.tracer.enabled:
+            self.tracer.event(
+                0.0, "cache_invalidation", table=name,
+                entries=self.query_cache.stats().invalidated - before)
 
     # ------------------------------------------------------------------
     # Tenancy
@@ -482,7 +525,8 @@ class QueryServer:
         if retry is not None:
             self._retry_policies[tenant] = retry
         session = HAPEEngine(self.topology, catalog=self.catalog,
-                             query_cache=self.query_cache)
+                             query_cache=self.query_cache,
+                             tracing=self.tracing)
         self._sessions[tenant] = session
         return session
 
@@ -539,12 +583,18 @@ class QueryServer:
             estimated_bytes=self._estimate_bytes(plan),
             deadline_seconds=deadline)
         self._epoch_tickets.append(ticket)
+        self.tracer.event(ticket.submit_time, "submit", tenant=tenant,
+                          query=ticket.label, ticket=ticket.ticket_id,
+                          mode=mode)
         try:
             self.admission.submit(tenant, ticket,
                                   estimated_bytes=ticket.estimated_bytes,
                                   at=ticket.submit_time)
-        except AdmissionError:
+        except AdmissionError as exc:
             ticket.status = "rejected"
+            self.tracer.event(ticket.submit_time, "reject", tenant=tenant,
+                              query=ticket.label, ticket=ticket.ticket_id,
+                              reason=str(exc))
             raise
         return ticket
 
@@ -665,6 +715,8 @@ class QueryServer:
             cooldown_seconds=self.breaker_cooldown_seconds)
         self._injector, self._breaker = injector, breaker
         self.topology.reset_occupancy()
+        if self.tracer.enabled:
+            self._last_health = dict(self.topology.health_report())
         # Seed the epoch's canonical cache-key set: commits classify
         # hits/misses against it in pick order (see SharedQueryCache).
         self.query_cache.begin_epoch()
@@ -686,6 +738,7 @@ class QueryServer:
             self._arrival_sources = []
         report = self._build_report()
         self.last_report = report
+        self.last_trace = self._build_epoch_trace(report)
         self._epoch_tickets = []
         return report
 
@@ -739,6 +792,7 @@ class QueryServer:
         """Apply scheduled faults/probes due at ``now``; kill stranded work."""
         newly_failed = self._injector.advance(now)
         self._breaker.advance(now)
+        self._trace_health(now, "schedule")
         if not newly_failed:
             return
         for _, _, attempt in completions:
@@ -765,6 +819,23 @@ class QueryServer:
                 DeviceUnavailableError(
                     self.topology.device(lost).kind.value,
                     f"device {lost!r} failed mid-query"))
+
+    def _trace_health(self, now: float, cause: str) -> None:
+        """Emit a ``device_health`` event per device whose state changed.
+
+        Runs on the coordinator thread at deterministic simulated times
+        (fault-schedule and breaker edges), so the events land in the
+        trace in the same order at every worker count.
+        """
+        if not self.tracer.enabled:
+            return
+        health = self.topology.health_report()
+        for name in sorted(health):
+            state = health[name]
+            if self._last_health.get(name) != state:
+                self.tracer.event(now, "device_health", device=name,
+                                  state=state, cause=cause)
+        self._last_health = dict(health)
 
     # ------------------------------------------------------------------
     # Dispatch: one execution attempt
@@ -833,6 +904,10 @@ class QueryServer:
                            cache_delta=cache_delta,
                            reserved=placement.resources, placement=placement,
                            fault=fault)
+        self.tracer.event(now, "dispatch", tenant=tenant, query=ticket.label,
+                          ticket=ticket.ticket_id, mode=ticket.current_mode,
+                          start=placement.start, finish=placement.finish,
+                          resources=",".join(placement.resources))
         heapq.heappush(completions,
                        (placement.finish, next(self._event_seq), attempt))
 
@@ -917,6 +992,8 @@ class QueryServer:
         self.scheduler.release(attempt.placement,
                                fraction=self._elapsed_fraction(attempt, kill))
         attempt.cancelled = True
+        self.tracer.event(kill, "preempt", tenant=ticket.tenant,
+                          query=ticket.label, ticket=ticket.ticket_id)
         ticket.wasted_seconds += max(kill - attempt.start, 0.0)
         ticket.preemptions += 1
         ticket.attempts -= 1
@@ -962,6 +1039,11 @@ class QueryServer:
                     ticket.current_mode = self._resolve_auto_mode(ticket)
                 ticket.attempts += 1
                 ticket.status = "running"
+                self.tracer.event(now, "admit", tenant=tenant,
+                                  query=ticket.label,
+                                  ticket=ticket.ticket_id,
+                                  attempt=ticket.attempts,
+                                  mode=ticket.current_mode)
                 runnable.append((tenant, ticket))
             groups: dict[str, list[QueryTicket]] = {}
             for tenant, ticket in runnable:
@@ -1003,6 +1085,16 @@ class QueryServer:
             ticket.cache = attempt.cache_delta
             ticket.error = None
             self._breaker.record_success(attempt.reserved)
+            self._trace_health(now, "breaker")
+            # Cache attribution on the event comes from the *committed*
+            # counters (deterministic at every worker count), not raw
+            # per-span lookups — see docs/OBSERVABILITY.md.
+            self.tracer.event(attempt.finish, "complete",
+                              tenant=ticket.tenant, query=ticket.label,
+                              ticket=ticket.ticket_id,
+                              simulated_seconds=attempt.result.simulated_seconds,
+                              cache_hits=attempt.cache_delta.hits,
+                              cache_misses=attempt.cache_delta.misses)
             return
         # The attempt died part-way: account the simulated time it burned.
         ticket.wasted_seconds += max(attempt.finish - attempt.start, 0.0)
@@ -1013,6 +1105,7 @@ class QueryServer:
         assert fault is not None
         if fault.kind == "device" and fault.device is not None:
             self._breaker.record_failure(fault.device, now)
+            self._trace_health(now, "breaker")
             self._failover_or_fail(
                 ticket, now,
                 DeviceUnavailableError(
@@ -1031,6 +1124,7 @@ class QueryServer:
             # Organic device-scoped failure (the paper's Q9-on-GPU case):
             # the breaker learns about the device, the ticket fails over.
             self._breaker.record_failure(error.device, now)
+            self._trace_health(now, "breaker")
             self._failover_or_fail(ticket, now, error)
         elif isinstance(error, (DeviceUnavailableError, OptimizerError)):
             # The mode cannot run on the surviving devices at all; no
@@ -1051,6 +1145,10 @@ class QueryServer:
         if next_mode is None:
             self._finalize_failure(ticket, now, error)
             return
+        self.tracer.event(now, "failover", tenant=ticket.tenant,
+                          query=ticket.label, ticket=ticket.ticket_id,
+                          from_mode=ticket.current_mode, to_mode=next_mode,
+                          error=type(error).__name__)
         ticket.failovers += 1
         ticket.current_mode = next_mode
         ticket.status = "queued"
@@ -1069,11 +1167,16 @@ class QueryServer:
             return
         ticket.retries += 1
         ticket.status = "queued"
+        resume_at = now + policy.backoff(ticket.attempts)
+        self.tracer.event(now, "retry", tenant=ticket.tenant,
+                          query=ticket.label, ticket=ticket.ticket_id,
+                          attempt=ticket.attempts, resume_at=resume_at,
+                          error=type(error).__name__)
         # Simulated backoff: the ticket sits out the wait in its queue, so
         # the backoff surfaces as queue wait, never as device time.
         self.admission.requeue(ticket.tenant, ticket,
                                estimated_bytes=ticket.estimated_bytes,
-                               at=now + policy.backoff(ticket.attempts))
+                               at=resume_at)
 
     def _finalize_failure(self, ticket: QueryTicket, now: float,
                           error: Exception) -> None:
@@ -1081,6 +1184,9 @@ class QueryServer:
         ticket.finish_time = now
         ticket.result = None
         ticket.error = str(error)
+        self.tracer.event(now, "failed", tenant=ticket.tenant,
+                          query=ticket.label, ticket=ticket.ticket_id,
+                          error=str(error))
 
     def _finalize_timeout(self, ticket: QueryTicket, now: float) -> None:
         deadline = ticket.deadline_time
@@ -1090,6 +1196,10 @@ class QueryServer:
         ticket.result = None
         ticket.error = (f"query {ticket.label!r} exceeded its "
                         f"{ticket.deadline_seconds:.6f}s deadline")
+        self.tracer.event(ticket.finish_time, "timeout",
+                          tenant=ticket.tenant, query=ticket.label,
+                          ticket=ticket.ticket_id,
+                          deadline_seconds=ticket.deadline_seconds)
 
     # ------------------------------------------------------------------
     # Epoch unwind (exception safety)
@@ -1112,6 +1222,7 @@ class QueryServer:
         self.admission.abort_epoch()
         report = self._build_report()
         self.last_report = report
+        self.last_trace = self._build_epoch_trace(report)
         self._epoch_tickets = []
         return report
 
@@ -1172,17 +1283,79 @@ class QueryServer:
     # ------------------------------------------------------------------
     # Observability
     # ------------------------------------------------------------------
+    def _build_epoch_trace(self, report: ServerReport) -> EpochTrace | None:
+        """Assemble the epoch's trace from the tracer's committed events.
+
+        Called once per epoch on the coordinator thread after the report
+        is built: SLO grades are appended (sorted by tenant), per-query
+        traces are collected in submission (ticket) order and the shared
+        occupancy board is snapshotted.  Draining the tracer here also
+        guarantees an aborted epoch cannot leak events into the next one.
+        """
+        if not self.tracer.enabled:
+            return None
+        for name in sorted(report.tenants):
+            tenant = report.tenants[name]
+            if tenant.slo_p99_seconds is None:
+                continue
+            self.tracer.event(report.makespan, "slo", tenant=name,
+                              met=bool(tenant.slo_met),
+                              p99=tenant.percentile_latency(99),
+                              objective=tenant.slo_p99_seconds)
+        queries = []
+        for ticket in report.tickets:
+            result = ticket.result
+            queries.append(TracedQuery(
+                ticket=ticket.ticket_id, tenant=ticket.tenant,
+                label=ticket.label, status=ticket.status,
+                mode=ticket.mode, final_mode=ticket.current_mode,
+                submit=ticket.submit_time, start=ticket.start_time,
+                finish=ticket.finish_time,
+                simulated_seconds=(result.simulated_seconds
+                                   if result is not None else 0.0),
+                trace=result.trace if result is not None else None))
+        return EpochTrace(makespan=report.makespan,
+                          events=self.tracer.drain(),
+                          queries=queries,
+                          occupancy=list(self.topology.occupancy.records()))
+
     def metrics(self) -> MetricsSnapshot:
         """A scrapeable snapshot of the last epoch plus live server state.
 
         Combines the most recent :class:`ServerReport` (zeros before the
-        first ``run()``), the shared cache's live counters and the
-        topology's device health into one :class:`MetricsSnapshot` that
-        renders as Prometheus exposition text or JSON.
+        first ``run()``), the shared cache's live counters (global and
+        per-tenant attribution) and the topology's device health into one
+        :class:`MetricsSnapshot` that renders as Prometheus exposition
+        text or JSON, plus derived gauges: the epoch's median operator
+        q-error and per-device occupancy (busy / makespan).
         """
         return MetricsSnapshot.collect(
             report=self.last_report, cache=self.query_cache.stats(),
-            device_health=self.topology.health_report())
+            device_health=self.topology.health_report(),
+            tenant_cache=self.query_cache.tenant_counters(),
+            extra=self._metrics_extra())
+
+    def _metrics_extra(self) -> dict[str, float]:
+        """Derived per-epoch gauges for :attr:`MetricsSnapshot.extra`."""
+        report = self.last_report
+        if report is None:
+            return {}
+        extra: dict[str, float] = {}
+        errors = [op.q_error for ticket in report.tickets
+                  if ticket.status == "completed"
+                  and ticket.result is not None
+                  for op in ticket.result.cardinality.operators]
+        if errors:
+            extra["epoch_median_q_error"] = float(median(errors))
+        if report.makespan > 0.0:
+            busy: dict[str, float] = {}
+            for tenant in report.tenants.values():
+                for resource, seconds in tenant.busy_seconds.items():
+                    busy[resource] = busy.get(resource, 0.0) + seconds
+            for resource in sorted(busy):
+                extra[f'device_occupancy{{device="{resource}"}}'] = (
+                    busy[resource] / report.makespan)
+        return extra
 
     def health(self) -> dict:
         """Liveness/readiness view: overall status plus per-device health."""

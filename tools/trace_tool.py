@@ -1,0 +1,215 @@
+#!/usr/bin/env python
+"""Inspect and compare exported trace JSONL files.
+
+Works on both trace granularities the observability layer exports —
+a :class:`~repro.obs.QueryTrace` (``kind: trace`` header, ``span``/
+``task``/``link`` lines) and an :class:`~repro.obs.EpochTrace`
+(``kind: epoch`` header, ``event``/``query``/``span``/``qtask``/
+``occupancy`` lines).  Three subcommands:
+
+* ``summarize FILE`` — one human-readable digest: header facts, span
+  and event-kind counts, per-resource busy seconds, slowest operators.
+* ``critical-path FILE`` — rebuild the critical path(s) from the raw
+  task lines: the binding device or link, compute/transfer verdict and
+  idle-gap accounting per query (epoch traces analyse every completed
+  query that carries spans).
+* ``diff A B`` — byte-level comparison of two trace files; prints the
+  first divergent line of each side and exits 1 on divergence.  Because
+  exports are canonical (sorted keys, compact separators), byte equality
+  is exactly trace equality — this is the determinism gates' diagnostic.
+
+Usage::
+
+    python tools/trace_tool.py summarize epoch.jsonl
+    python tools/trace_tool.py critical-path query.jsonl
+    python tools/trace_tool.py diff epoch_w1.jsonl epoch_w2.jsonl
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from collections import Counter
+from pathlib import Path
+
+_REPO = Path(__file__).resolve().parent.parent
+if str(_REPO / "src") not in sys.path:
+    sys.path.insert(0, str(_REPO / "src"))
+
+from repro.hardware.clock import TaskRecord  # noqa: E402
+from repro.obs import critical_path  # noqa: E402
+
+
+def _load(path: Path) -> list[dict]:
+    lines = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for number, raw in enumerate(handle, start=1):
+            raw = raw.strip()
+            if not raw:
+                continue
+            try:
+                lines.append(json.loads(raw))
+            except json.JSONDecodeError as exc:
+                raise SystemExit(
+                    f"{path}:{number}: not a JSON line ({exc})") from exc
+    if not lines:
+        raise SystemExit(f"{path}: empty trace")
+    return lines
+
+
+def _by_kind(lines: list[dict]) -> dict[str, list[dict]]:
+    grouped: dict[str, list[dict]] = {}
+    for line in lines:
+        grouped.setdefault(line.get("kind", "?"), []).append(line)
+    return grouped
+
+
+def _records(lines: list[dict]) -> list[TaskRecord]:
+    return [TaskRecord(resource=line["resource"], label=line["label"],
+                       start=line["start"], end=line["end"])
+            for line in lines]
+
+
+def _links(grouped: dict[str, list[dict]]) -> frozenset[str]:
+    """Link names for the transfer/compute verdict.
+
+    Query traces carry explicit ``link`` lines; epoch traces don't, so
+    fall back to the interconnect naming convention used by the default
+    topologies (pcie*/qpi*/nvlink*).
+    """
+    if "link" in grouped:
+        return frozenset(line["link"] for line in grouped["link"])
+    resources = {line["resource"]
+                 for kind in ("task", "qtask", "occupancy")
+                 for line in grouped.get(kind, ())}
+    return frozenset(name for name in resources
+                     if name.startswith(("pcie", "qpi", "nvlink")))
+
+
+def cmd_summarize(args: argparse.Namespace) -> int:
+    lines = _load(args.file)
+    grouped = _by_kind(lines)
+    header = lines[0]
+    print(f"{args.file}: {header.get('kind', '?')} trace, "
+          f"{len(lines)} lines")
+    if header.get("kind") == "trace":
+        print(f"  label={header.get('label') or '-'} "
+              f"mode={header.get('mode') or '-'} "
+              f"makespan={header['makespan']:.6f}s "
+              f"morsels={header.get('morsels', 0)}")
+    elif header.get("kind") == "epoch":
+        print(f"  makespan={header['makespan']:.6f}s "
+              f"queries={header.get('queries', 0)} "
+              f"events={header.get('events', 0)}")
+    for kind in sorted(grouped):
+        print(f"  {kind}: {len(grouped[kind])} line(s)")
+    if "event" in grouped:
+        counts = Counter(line["event"] for line in grouped["event"])
+        print("  event kinds: " + ", ".join(
+            f"{name}={count}" for name, count in sorted(counts.items())))
+    if "query" in grouped:
+        status = Counter(line["status"] for line in grouped["query"])
+        print("  ticket statuses: " + ", ".join(
+            f"{name}={count}" for name, count in sorted(status.items())))
+    busy: dict[str, float] = {}
+    for kind in ("task", "qtask", "occupancy"):
+        for line in grouped.get(kind, ()):
+            busy[line["resource"]] = (busy.get(line["resource"], 0.0)
+                                      + line["end"] - line["start"])
+    for resource in sorted(busy):
+        print(f"  busy {resource}: {busy[resource] * 1e3:.3f} ms")
+    spans = grouped.get("span", [])
+    slowest = sorted(spans, key=lambda s: s["start"] - s["end"])[:args.top]
+    for span in slowest:
+        extra = ""
+        if "q_error" in span:
+            extra = f" q_error={span['q_error']:.2f}"
+        if "cache" in span:
+            extra += f" cache={span['cache']}"
+        print(f"  span {span['op']} [{','.join(span['devices'])}] "
+              f"{(span['end'] - span['start']) * 1e3:.3f} ms{extra}")
+    return 0
+
+
+def cmd_critical_path(args: argparse.Namespace) -> int:
+    lines = _load(args.file)
+    grouped = _by_kind(lines)
+    links = _links(grouped)
+    if "task" in grouped:  # query trace
+        records = _records(grouped["task"])
+        path = critical_path(records, lines[0]["makespan"], links=links)
+        print(path.describe())
+        return 0
+    if "qtask" not in grouped:
+        raise SystemExit(f"{args.file}: no task/qtask lines to analyse")
+    per_ticket: dict[int, list[dict]] = {}
+    for line in grouped["qtask"]:
+        per_ticket.setdefault(line["ticket"], []).append(line)
+    rows = {line["ticket"]: line for line in grouped.get("query", ())}
+    for ticket in sorted(per_ticket):
+        row = rows.get(ticket, {})
+        start = row.get("start", 0.0)
+        finish = row.get("finish", max(line["end"]
+                                       for line in per_ticket[ticket]))
+        # qtask lines are server-time; shift back to query-local zero.
+        records = [TaskRecord(resource=line["resource"], label=line["label"],
+                              start=line["start"] - start,
+                              end=line["end"] - start)
+                   for line in per_ticket[ticket]]
+        path = critical_path(records, finish - start, links=links)
+        label = row.get("label", "?")
+        tenant = row.get("tenant", "?")
+        print(f"ticket {ticket} {tenant}:{label} — {path.describe()}")
+    return 0
+
+
+def cmd_diff(args: argparse.Namespace) -> int:
+    left = args.a.read_text(encoding="utf-8").splitlines()
+    right = args.b.read_text(encoding="utf-8").splitlines()
+    for index, (line_a, line_b) in enumerate(zip(left, right), start=1):
+        if line_a != line_b:
+            print(f"traces diverge at line {index}:")
+            print(f"  {args.a}: {line_a}")
+            print(f"  {args.b}: {line_b}")
+            return 1
+    if len(left) != len(right):
+        longer, path = ((left, args.a) if len(left) > len(right)
+                        else (right, args.b))
+        index = min(len(left), len(right))
+        print(f"traces diverge at line {index + 1}: "
+              f"only {path} continues:")
+        print(f"  {path}: {longer[index]}")
+        return 1
+    print(f"traces identical ({len(left)} lines)")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    summarize = commands.add_parser(
+        "summarize", help="digest one trace JSONL file")
+    summarize.add_argument("file", type=Path)
+    summarize.add_argument("--top", type=int, default=5,
+                           help="slowest operator spans to list")
+    summarize.set_defaults(run=cmd_summarize)
+
+    critical = commands.add_parser(
+        "critical-path", help="binding resource and idle gaps per query")
+    critical.add_argument("file", type=Path)
+    critical.set_defaults(run=cmd_critical_path)
+
+    diff = commands.add_parser(
+        "diff", help="first divergent line of two traces (exit 1 if any)")
+    diff.add_argument("a", type=Path)
+    diff.add_argument("b", type=Path)
+    diff.set_defaults(run=cmd_diff)
+
+    args = parser.parse_args(argv)
+    return args.run(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
